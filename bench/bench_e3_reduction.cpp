@@ -1,0 +1,107 @@
+// Experiment E3: Lemma 4.2 - the QoS of the emulated Perfect detector.
+//
+// Runs T(D->P) over the S-based consensus with a P-grade base detector and
+// measures, per crash: how many ticks and how many consensus instances the
+// emulation needs before output(P) shows the crash, and (crucially) that
+// false suspicions never occur. The instance pacing is swept to show the
+// emulation's detection latency is dominated by the instance rate - the
+// "cost of perfection" in reduction form.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace rfd {
+namespace {
+
+struct EmulationStats {
+  Summary detection_ticks;     // crash -> suspicion at each correct process
+  std::int64_t false_suspicions = 0;
+  std::int64_t crashes_detected = 0;
+  std::int64_t crashes_missed = 0;
+  Summary instances_decided;
+};
+
+EmulationStats measure(Tick gap, InstanceId instances, std::uint64_t seed) {
+  const ProcessId n = 4;
+  EmulationStats stats;
+  model::PatternSweep sweep(n, mix_seed(seed, 0xe3));
+  sweep.with_single_crashes({500, 2000}).with_cascades(2, 800, 900);
+  for (const auto& pattern : sweep.patterns()) {
+    const auto oracle = fd::find_detector("P").factory(pattern, seed);
+    std::vector<std::unique_ptr<sim::Automaton>> automata;
+    for (ProcessId p = 0; p < n; ++p) {
+      automata.push_back(std::make_unique<red::ConsensusToP>(
+          n, red::ConsensusToP::ct_strong_factory(n), instances, gap));
+    }
+    sim::Simulator sim(pattern, *oracle, std::move(automata),
+                       std::make_unique<sim::RandomAdversary>(seed + 7));
+    sim.run_for(12'000);
+
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!pattern.correct().contains(p)) continue;
+      const auto& reduction =
+          dynamic_cast<red::ConsensusToP&>(sim.automaton(p));
+      stats.instances_decided.add(
+          static_cast<double>(reduction.instances_decided()));
+      // Timeline audit against ground truth.
+      ProcessSet seen(n);
+      for (const auto& [tick, victim] : reduction.suspicion_timeline()) {
+        seen.insert(victim);
+        const Tick crash = pattern.crash_tick(victim);
+        if (crash == kNever || tick < crash) {
+          ++stats.false_suspicions;
+        } else {
+          stats.detection_ticks.add(static_cast<double>(tick - crash));
+        }
+      }
+      pattern.faulty().for_each([&](ProcessId dead) {
+        if (seen.contains(dead)) {
+          ++stats.crashes_detected;
+        } else {
+          ++stats.crashes_missed;
+        }
+      });
+    }
+  }
+  return stats;
+}
+
+void BM_ReductionRun(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure(200, 20, 3).crashes_detected);
+  }
+}
+BENCHMARK(BM_ReductionRun)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+}  // namespace rfd
+
+int main(int argc, char** argv) {
+  using namespace rfd;
+  std::printf("E3: QoS of output(P) emulated by T(D->P) over CT-S consensus"
+              "\n(n=4, base detector P, horizon 12000 ticks)\n");
+
+  Table table({"instance gap", "instances", "crashes detected", "missed",
+               "false susp.", "detect p50 (ticks)", "detect p99 (ticks)"});
+  for (const Tick gap : {0, 100, 300, 600}) {
+    const InstanceId instances = gap == 0 ? 40 : static_cast<InstanceId>(
+        10'000 / gap + 2);
+    const auto stats = measure(gap, instances, 11);
+    table.add_row({Table::num(gap), Table::num(instances),
+                   Table::num(stats.crashes_detected),
+                   Table::num(stats.crashes_missed),
+                   Table::num(stats.false_suspicions),
+                   Table::fixed(stats.detection_ticks.percentile(0.5), 1),
+                   Table::fixed(stats.detection_ticks.percentile(0.99), 1)});
+  }
+  table.print("E3: emulated-P detection quality vs instance pacing");
+
+  std::printf(
+      "\nReading: zero false suspicions in every configuration (strong"
+      "\naccuracy, Lemma 4.2); detection latency scales with the instance"
+      "\npacing since a crash is only observable at the next decision.\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

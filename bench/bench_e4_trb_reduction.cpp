@@ -1,0 +1,104 @@
+// Experiment E4: Proposition 5.1 - emulating P from TRB.
+//
+// Rounds of TRB instances run continuously; a nil delivery for instance
+// (i, *) adds p_i to output(P). The table reports detection latency and
+// accuracy of the nil-driven emulation against ground truth, per round
+// pacing.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace rfd {
+namespace {
+
+struct TrbEmulationStats {
+  Summary detection_ticks;
+  std::int64_t false_suspicions = 0;
+  std::int64_t crashes_detected = 0;
+  std::int64_t crashes_missed = 0;
+  Summary rounds_completed;
+};
+
+TrbEmulationStats measure(Tick gap, InstanceId rounds, std::uint64_t seed) {
+  const ProcessId n = 4;
+  TrbEmulationStats stats;
+  model::PatternSweep sweep(n, mix_seed(seed, 0xe4));
+  sweep.with_single_crashes({400, 1800}).with_cascades(2, 700, 800);
+  for (const auto& pattern : sweep.patterns()) {
+    const auto oracle = fd::find_detector("P").factory(pattern, seed);
+    std::vector<std::unique_ptr<sim::Automaton>> automata;
+    for (ProcessId p = 0; p < n; ++p) {
+      automata.push_back(std::make_unique<red::TrbToP>(n, rounds, gap));
+    }
+    sim::Simulator sim(pattern, *oracle, std::move(automata),
+                       std::make_unique<sim::RandomAdversary>(seed + 13));
+    sim.run_for(12'000);
+
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!pattern.correct().contains(p)) continue;
+      const auto& reduction = dynamic_cast<red::TrbToP&>(sim.automaton(p));
+      stats.rounds_completed.add(
+          static_cast<double>(reduction.rounds_completed()));
+      ProcessSet seen(n);
+      for (const auto& [tick, victim] : reduction.suspicion_timeline()) {
+        seen.insert(victim);
+        const Tick crash = pattern.crash_tick(victim);
+        if (crash == kNever || tick < crash) {
+          ++stats.false_suspicions;
+        } else {
+          stats.detection_ticks.add(static_cast<double>(tick - crash));
+        }
+      }
+      pattern.faulty().for_each([&](ProcessId dead) {
+        if (seen.contains(dead)) {
+          ++stats.crashes_detected;
+        } else {
+          ++stats.crashes_missed;
+        }
+      });
+    }
+  }
+  return stats;
+}
+
+void BM_TrbReductionRun(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure(400, 12, 5).crashes_detected);
+  }
+}
+BENCHMARK(BM_TrbReductionRun)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+}  // namespace rfd
+
+int main(int argc, char** argv) {
+  using namespace rfd;
+  std::printf("E4: emulating P from TRB nil deliveries (Prop 5.1), n=4,"
+              "\nbase detector P, horizon 12000 ticks\n");
+
+  Table table({"round gap", "rounds", "crashes detected", "missed",
+               "false susp.", "detect p50 (ticks)", "detect p99 (ticks)",
+               "rounds done (mean)"});
+  for (const Tick gap : {0, 200, 500, 1000}) {
+    const InstanceId rounds =
+        gap == 0 ? 24 : static_cast<InstanceId>(10'000 / gap + 2);
+    const auto stats = measure(gap, rounds, 17);
+    table.add_row({Table::num(gap), Table::num(rounds),
+                   Table::num(stats.crashes_detected),
+                   Table::num(stats.crashes_missed),
+                   Table::num(stats.false_suspicions),
+                   Table::fixed(stats.detection_ticks.percentile(0.5), 1),
+                   Table::fixed(stats.detection_ticks.percentile(0.99), 1),
+                   Table::fixed(stats.rounds_completed.mean(), 1)});
+  }
+  table.print("E4: nil-driven emulation quality vs round pacing");
+
+  std::printf(
+      "\nReading: nil deliveries never fire for live senders (strong"
+      "\naccuracy) and every crash eventually surfaces as a nil in a later"
+      "\nround (strong completeness); latency tracks the round pacing.\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Experiment E9: QoS of the realistic detector implementations
+// (Chen-Toueg metrics: detection time T_D, mistake rate lambda_M, mistake
+// duration T_M, query accuracy P_A).
+//
+// Two sweeps: (a) the speed/accuracy frontier of the fixed timeout, and
+// (b) fixed vs adaptive vs phi-accrual across network regimes. These are
+// the "realistic failure detectors" whose inherent imperfection is the
+// reason the paper's collapse result matters in practice.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace rfd {
+namespace {
+
+rt::QosConfig base_config() {
+  rt::QosConfig config;
+  config.heartbeat_interval_ms = 100.0;
+  config.duration_ms = 60'000.0;
+  config.crash_at_ms = 45'000.0;
+  return config;
+}
+
+std::vector<std::string> qos_row(const std::string& label,
+                                 const rt::QosAggregate& agg, int runs) {
+  return {label,
+          Table::fixed(agg.detection_time_ms.mean(), 1),
+          Table::fixed(agg.mistake_rate_per_s.mean() * 60.0, 3),
+          Table::fixed(agg.avg_mistake_duration_ms.mean(), 1),
+          Table::pct(agg.query_accuracy.mean(), 3),
+          std::to_string(runs - agg.undetected_crashes) + "/" +
+              std::to_string(runs)};
+}
+
+void BM_QosExperiment(benchmark::State& state) {
+  const auto config = base_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::run_qos_experiment(config, 3));
+  }
+}
+BENCHMARK(BM_QosExperiment)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+}  // namespace rfd
+
+int main(int argc, char** argv) {
+  using namespace rfd;
+  const int kRuns = 12;
+  std::printf("E9: QoS of timeout-based detectors (heartbeat 100ms, crash at"
+              "\n45s of 60s, %d seeded runs per row; mistakes per minute)\n",
+              kRuns);
+
+  {
+    Table table({"fixed timeout (ms)", "T_D mean (ms)", "mistakes/min",
+                 "T_M mean (ms)", "P_A", "detected"});
+    for (const double timeout : {120.0, 200.0, 400.0, 800.0, 1600.0}) {
+      auto config = base_config();
+      config.detector.kind = rt::DetectorKind::kFixed;
+      config.detector.fixed.timeout_ms = timeout;
+      config.network.jitter_sigma = 1.1;
+      config.network.loss_prob = 0.05;
+      const auto agg = rt::run_qos_sweep(config, 0x901, kRuns);
+      auto row = qos_row(Table::fixed(timeout, 0), agg, kRuns);
+      table.add_row(std::move(row));
+    }
+    table.print("E9a: the timeout frontier (lossy, jittery network)");
+  }
+
+  {
+    Table table({"detector", "network", "T_D mean (ms)", "mistakes/min",
+                 "T_M mean (ms)", "P_A", "detected"});
+    struct Net {
+      std::string label;
+      double sigma;
+      double loss;
+    };
+    const std::vector<Net> nets = {{"calm", 0.4, 0.0},
+                                   {"jittery", 1.1, 0.05},
+                                   {"hostile", 1.5, 0.15}};
+    for (const auto& net : nets) {
+      for (const auto kind : {rt::DetectorKind::kFixed, rt::DetectorKind::kChen,
+                              rt::DetectorKind::kPhi}) {
+        auto config = base_config();
+        config.detector.kind = kind;
+        config.detector.fixed.timeout_ms = 300.0;
+        config.detector.chen.alpha_ms = 200.0;
+        config.detector.phi.threshold = 8.0;
+        config.network.jitter_sigma = net.sigma;
+        config.network.loss_prob = net.loss;
+        const auto agg = rt::run_qos_sweep(config, 0x902, kRuns);
+        auto row = qos_row(rt::detector_kind_name(kind), agg, kRuns);
+        row.insert(row.begin() + 1, net.label);
+        table.add_row(std::move(row));
+      }
+    }
+    table.print("E9b: fixed vs adaptive vs phi-accrual across regimes");
+  }
+
+  std::printf(
+      "\nReading: shorter timeouts trade mistakes for detection speed; the"
+      "\nadaptive and accrual detectors hold accuracy as the network degrades"
+      "\nwhere the fixed timeout starts flapping. None of them is ever"
+      "\nPerfect - which is why systems bolt a membership service on top"
+      "\n(E8) and why the paper's P-emulation story is the right lens.\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

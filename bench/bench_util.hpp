@@ -1,0 +1,48 @@
+// Shared helpers for the experiment benches: run an algorithm fleet over a
+// pattern and hand back the trace, plus common measurement utilities.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+
+namespace rfd::bench {
+
+template <typename Algo>
+sim::Trace run_fleet(const std::string& detector,
+                     const model::FailurePattern& pattern, std::uint64_t seed,
+                     Tick horizon, sim::SimConfig config = {}) {
+  const ProcessId n = pattern.n();
+  const auto oracle = fd::find_detector(detector).factory(pattern, seed);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < n; ++p) {
+    automata.push_back(std::make_unique<Algo>(n, 100 + p));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(mix_seed(seed, 2)),
+                     config);
+  sim.run_for(horizon);
+  return sim.trace();
+}
+
+/// Tick of the last decision of `instance` (or -1).
+inline Tick last_decision_tick(const sim::Trace& trace, InstanceId instance) {
+  Tick last = -1;
+  for (const auto& d : trace.decisions_of_instance(instance)) {
+    last = std::max(last, d.time);
+  }
+  return last;
+}
+
+/// Tick of the first decision of `instance` (or -1).
+inline Tick first_decision_tick(const sim::Trace& trace, InstanceId instance) {
+  Tick first = -1;
+  for (const auto& d : trace.decisions_of_instance(instance)) {
+    if (first < 0 || d.time < first) first = d.time;
+  }
+  return first;
+}
+
+}  // namespace rfd::bench

@@ -1,0 +1,131 @@
+#include "algo/broadcast/atomic_broadcast.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::algo {
+
+AtomicBroadcast::AtomicBroadcast(ProcessId n,
+                                 std::vector<ScriptedBroadcast> script,
+                                 InstanceId instance)
+    : n_(n), script_(std::move(script)), instance_(instance) {
+  RFD_REQUIRE(n >= 2);
+}
+
+sim::SubInstanceContext AtomicBroadcast::consensus_context(sim::Context& ctx) {
+  // The hook only flags the decision; the instance turnover happens after
+  // the consensus call returns (destroying an automaton from inside its
+  // own on_step would be undefined behaviour).
+  auto on_decide = [this](Value v) {
+    decision_pending_ = true;
+    decision_value_ = v;
+  };
+  return sim::SubInstanceContext(ctx, kFloodTag + 1 + next_k_, on_decide,
+                                 nullptr, /*record=*/false);
+}
+
+void AtomicBroadcast::run_script(sim::Context& ctx) {
+  for (const auto& entry : script_) {
+    if (entry.at_local_step == local_steps_) {
+      flood(ctx, ctx.self(), next_seq_++, entry.value);
+    }
+  }
+}
+
+void AtomicBroadcast::flood(sim::Context& ctx, ProcessId origin,
+                            std::int64_t seq, Value v) {
+  if (!seen_.emplace(origin, seq).second) return;
+  Writer w;
+  w.process(origin);
+  w.varint(seq);
+  w.value(v);
+  ctx.broadcast(sim::frame(kFloodTag, std::move(w).take()));
+  if (done_.count(v) == 0) {
+    pending_.insert(v);
+  }
+}
+
+void AtomicBroadcast::maybe_start_consensus(sim::Context& ctx) {
+  if (consensus_ != nullptr || pending_.empty()) return;
+  const Value proposal = *pending_.begin();
+  consensus_ = std::make_unique<CtStrongConsensus>(n_, proposal);
+  {
+    sim::SubInstanceContext sub = consensus_context(ctx);
+    consensus_->on_start(sub);
+  }
+  // Replay buffered traffic for this instance.
+  const auto it = buffered_.find(next_k_);
+  if (it != buffered_.end()) {
+    const std::vector<BufferedMsg> msgs = std::move(it->second);
+    buffered_.erase(it);
+    for (const auto& msg : msgs) {
+      if (decision_pending_) break;  // instance already finished
+      route_to_consensus(ctx, msg);
+    }
+  }
+}
+
+void AtomicBroadcast::route_to_consensus(sim::Context& ctx,
+                                         const BufferedMsg& msg) {
+  sim::SubInstanceContext sub = consensus_context(ctx);
+  const sim::Incoming incoming{msg.src, msg.payload, msg.tags, msg.id};
+  consensus_->on_step(sub, &incoming);
+}
+
+void AtomicBroadcast::on_consensus_decision(sim::Context& ctx, Value v) {
+  if (done_.insert(v).second) {
+    delivered_.push_back(v);
+    ctx.deliver(instance_, v);
+  }
+  pending_.erase(v);
+  ++next_k_;
+  consensus_.reset();
+  // Stale buffers for finished instances are dead weight.
+  for (auto it = buffered_.begin(); it != buffered_.end();) {
+    it = it->first < next_k_ ? buffered_.erase(it) : ++it;
+  }
+}
+
+void AtomicBroadcast::on_start(sim::Context& ctx) {
+  local_steps_ = 0;
+  run_script(ctx);
+  maybe_start_consensus(ctx);
+}
+
+void AtomicBroadcast::on_step(sim::Context& ctx, const sim::Incoming* m) {
+  ++local_steps_;
+  run_script(ctx);
+
+  if (m != nullptr) {
+    auto [tag, inner] = sim::unframe(m->payload);
+    if (tag == kFloodTag) {
+      Reader r(inner);
+      const ProcessId origin = r.process();
+      const std::int64_t seq = r.varint();
+      const Value v = r.value();
+      flood(ctx, origin, seq, v);
+    } else {
+      const InstanceId k = tag - kFloodTag - 1;
+      if (k == next_k_ && consensus_ != nullptr) {
+        route_to_consensus(ctx, {m->src, inner, m->alive_tags, m->id});
+      } else if (k >= next_k_) {
+        buffered_[k].push_back({m->src, inner, m->alive_tags, m->id});
+      }
+      // k < next_k_: the instance already decided; drop.
+    }
+  } else if (consensus_ != nullptr) {
+    // Lambda step: the embedded consensus re-checks its suspect-set waits.
+    sim::SubInstanceContext sub = consensus_context(ctx);
+    consensus_->on_step(sub, nullptr);
+  }
+
+  // Settle any decisions produced above; each turnover may unblock the
+  // next instance, whose replay may decide again.
+  while (decision_pending_) {
+    decision_pending_ = false;
+    on_consensus_decision(ctx, decision_value_);
+    maybe_start_consensus(ctx);
+  }
+  maybe_start_consensus(ctx);
+}
+
+}  // namespace rfd::algo

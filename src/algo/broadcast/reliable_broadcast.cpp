@@ -1,0 +1,51 @@
+#include "algo/broadcast/reliable_broadcast.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::algo {
+
+ReliableBroadcast::ReliableBroadcast(ProcessId n,
+                                     std::vector<ScriptedBroadcast> script,
+                                     InstanceId instance)
+    : n_(n), script_(std::move(script)), instance_(instance) {
+  RFD_REQUIRE(n >= 2);
+}
+
+void ReliableBroadcast::run_script(sim::Context& ctx) {
+  for (const auto& entry : script_) {
+    if (entry.at_local_step == local_steps_) {
+      handle(ctx, ctx.self(), next_seq_++, entry.value);
+    }
+  }
+}
+
+void ReliableBroadcast::handle(sim::Context& ctx, ProcessId origin,
+                               std::int64_t seq, Value v) {
+  if (!seen_.emplace(origin, seq).second) return;  // already diffused
+  Writer w;
+  w.process(origin);
+  w.varint(seq);
+  w.value(v);
+  ctx.broadcast(std::move(w).take());
+  delivered_.push_back(v);
+  ctx.deliver(instance_, v);
+}
+
+void ReliableBroadcast::on_start(sim::Context& ctx) {
+  local_steps_ = 0;
+  run_script(ctx);
+}
+
+void ReliableBroadcast::on_step(sim::Context& ctx, const sim::Incoming* m) {
+  ++local_steps_;
+  run_script(ctx);
+  if (m != nullptr) {
+    Reader r(m->payload);
+    const ProcessId origin = r.process();
+    const std::int64_t seq = r.varint();
+    const Value v = r.value();
+    handle(ctx, origin, seq, v);
+  }
+}
+
+}  // namespace rfd::algo

@@ -1,0 +1,52 @@
+// Reliable broadcast by flooding [after Hadzilacos & Toueg 94].
+//
+// The basic diffusion substrate: on the first receipt of a message the
+// process relays it to everyone and delivers it. Guarantees: validity (a
+// correct broadcaster's message is delivered by every correct process),
+// agreement among correct processes, integrity (no duplication, no
+// invention). It is deliberately NOT uniform - a process may deliver and
+// crash before relaying - which the atomic broadcast layer compensates for
+// by ordering deliveries through uniform consensus.
+//
+// Applications are modeled as scripted broadcasts: (local step index,
+// value) pairs injected deterministically as the process takes steps.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "sim/automaton.hpp"
+
+namespace rfd::algo {
+
+struct ScriptedBroadcast {
+  std::int64_t at_local_step;  // 0 = during on_start
+  Value value;
+};
+
+class ReliableBroadcast final : public sim::Automaton {
+ public:
+  ReliableBroadcast(ProcessId n, std::vector<ScriptedBroadcast> script,
+                    InstanceId instance = 0);
+
+  void on_start(sim::Context& ctx) override;
+  void on_step(sim::Context& ctx, const sim::Incoming* m) override;
+
+  /// Values delivered so far, in delivery order.
+  const std::vector<Value>& delivered() const { return delivered_; }
+
+ private:
+  void run_script(sim::Context& ctx);
+  void handle(sim::Context& ctx, ProcessId origin, std::int64_t seq, Value v);
+
+  ProcessId n_;
+  std::vector<ScriptedBroadcast> script_;
+  InstanceId instance_;
+
+  std::int64_t local_steps_ = 0;
+  std::int64_t next_seq_ = 0;
+  std::set<std::pair<ProcessId, std::int64_t>> seen_;
+  std::vector<Value> delivered_;
+};
+
+}  // namespace rfd::algo

@@ -1,0 +1,69 @@
+#include "algo/consensus/cr_chain.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::algo {
+
+CrChainConsensus::CrChainConsensus(ProcessId n, Value proposal,
+                                   InstanceId instance)
+    : n_(n), proposal_(proposal), instance_(instance) {
+  RFD_REQUIRE(n >= 2);
+  RFD_REQUIRE(proposal != kNoValue);
+}
+
+void CrChainConsensus::on_start(sim::Context& ctx) {
+  est_ = proposal_;
+  round_ = 0;
+  try_advance(ctx);
+}
+
+void CrChainConsensus::on_step(sim::Context& ctx, const sim::Incoming* m) {
+  if (m != nullptr) {
+    Reader r(m->payload);
+    const int round = static_cast<int>(r.varint());
+    const Value est = r.value();
+    // Round-i estimates only ever come from p_i.
+    if (m->src == static_cast<ProcessId>(round)) {
+      round_values_.emplace(round, est);
+    }
+  }
+  try_advance(ctx);
+}
+
+void CrChainConsensus::try_advance(sim::Context& ctx) {
+  while (!decided_) {
+    if (round_ >= static_cast<int>(n_)) {
+      decided_ = true;
+      decision_ = est_;
+      ctx.decide(instance_, est_);
+      return;
+    }
+    const auto coordinator = static_cast<ProcessId>(round_);
+    if (ctx.self() == coordinator) {
+      Writer w;
+      w.varint(round_);
+      w.value(est_);
+      ctx.broadcast(std::move(w).take());
+      ++round_;
+      continue;
+    }
+    if (ctx.self() > coordinator) {
+      const auto it = round_values_.find(round_);
+      if (it != round_values_.end()) {
+        est_ = it->second;
+        ++round_;
+        continue;
+      }
+      if (ctx.fd().suspects.contains(coordinator)) {
+        ++round_;
+        continue;
+      }
+      return;  // wait for the estimate or the suspicion
+    }
+    // self < coordinator: P< gives no completeness about larger ids;
+    // waiting could block forever, so the round is skipped.
+    ++round_;
+  }
+}
+
+}  // namespace rfd::algo

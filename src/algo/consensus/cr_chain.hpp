@@ -1,0 +1,54 @@
+// Correct-restricted (non-uniform) consensus from P< (Section 6.2, after
+// the atomic-commitment algorithm of [Guerraoui 95]).
+//
+// P< offers strong accuracy plus *partial* completeness: p_j only ever
+// learns about crashes of processes with smaller ids. The chain algorithm
+// runs n id-ordered rounds. In round i, p_i broadcasts its current
+// estimate and moves on; every p_j with j > i waits until it receives
+// p_i's estimate (adopting it) or suspects p_i (P< can: j > i); processes
+// with j < i skip the round - they could never reliably suspect p_i.
+// After round n-1 everyone decides its estimate.
+//
+// Let c be the smallest correct process. Nobody ever suspects c (strong
+// accuracy), so in round c every process with a larger id adopts c's
+// estimate, and all later coordinators re-broadcast that same estimate:
+// correct processes agree. But p_0 decides its own value after ZERO
+// message exchanges - if it crashes right after deciding, the survivors
+// may decide differently. Uniform agreement fails, correct-restricted
+// agreement holds, and the decision of p_0 is spectacularly non-total:
+// Lemma 4.1 does not extend to non-uniform consensus, which is exactly
+// how the paper separates the two problems.
+#pragma once
+
+#include <map>
+
+#include "sim/automaton.hpp"
+
+namespace rfd::algo {
+
+class CrChainConsensus final : public sim::Automaton {
+ public:
+  CrChainConsensus(ProcessId n, Value proposal, InstanceId instance = 0);
+
+  void on_start(sim::Context& ctx) override;
+  void on_step(sim::Context& ctx, const sim::Incoming* m) override;
+
+  bool decided() const { return decided_; }
+  Value decision() const { return decision_; }
+  int round() const { return round_; }
+
+ private:
+  void try_advance(sim::Context& ctx);
+
+  ProcessId n_;
+  Value proposal_;
+  InstanceId instance_;
+
+  Value est_ = kNoValue;
+  int round_ = 0;
+  bool decided_ = false;
+  Value decision_ = kNoValue;
+  std::map<int, Value> round_values_;  // estimate received from p_round
+};
+
+}  // namespace rfd::algo

@@ -1,0 +1,167 @@
+#include "algo/consensus/ct_rotating.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::algo {
+
+CtRotatingConsensus::CtRotatingConsensus(ProcessId n, Value proposal,
+                                         InstanceId instance)
+    : n_(n), proposal_(proposal), instance_(instance) {
+  RFD_REQUIRE(n >= 2);
+  RFD_REQUIRE(proposal != kNoValue);
+}
+
+void CtRotatingConsensus::record_estimate(int round, Value est, Tick ts) {
+  Tally& tally = tallies_[round];
+  ++tally.estimates;
+  if (ts > tally.best_ts) {
+    tally.best_ts = ts;
+    tally.best_est = est;
+  }
+}
+
+void CtRotatingConsensus::begin_round(sim::Context& ctx) {
+  replied_this_round_ = false;
+  const ProcessId coord = coordinator(round_);
+  if (coord == ctx.self()) {
+    record_estimate(round_, est_, ts_);
+  } else {
+    Writer w;
+    w.u8(kEstimate);
+    w.varint(round_);
+    w.value(est_);
+    w.tick(ts_);
+    ctx.send(coord, std::move(w).take());
+  }
+}
+
+void CtRotatingConsensus::decide_and_flood(sim::Context& ctx, Value v) {
+  if (decided_) return;
+  decided_ = true;
+  decision_ = v;
+  ctx.decide(instance_, v);
+  Writer w;
+  w.u8(kDecide);
+  w.value(v);
+  ctx.broadcast(std::move(w).take());
+}
+
+void CtRotatingConsensus::on_start(sim::Context& ctx) {
+  est_ = proposal_;
+  ts_ = 0;
+  round_ = 0;
+  begin_round(ctx);
+  try_advance(ctx);
+}
+
+void CtRotatingConsensus::on_step(sim::Context& ctx, const sim::Incoming* m) {
+  if (m != nullptr) {
+    Reader r(m->payload);
+    const auto type = r.u8();
+    switch (type) {
+      case kEstimate: {
+        const int round = static_cast<int>(r.varint());
+        const Value est = r.value();
+        const Tick ts = r.tick();
+        record_estimate(round, est, ts);
+        break;
+      }
+      case kPropose: {
+        const int round = static_cast<int>(r.varint());
+        proposals_seen_.emplace(round, r.value());
+        break;
+      }
+      case kAck: {
+        ++tallies_[static_cast<int>(r.varint())].acks;
+        break;
+      }
+      case kNack: {
+        ++tallies_[static_cast<int>(r.varint())].nacks;
+        break;
+      }
+      case kDecide: {
+        decide_and_flood(ctx, r.value());
+        break;
+      }
+      default:
+        RFD_UNREACHABLE("unknown ct_rotating message type");
+    }
+  }
+  try_advance(ctx);
+}
+
+void CtRotatingConsensus::try_advance(sim::Context& ctx) {
+  if (decided_) return;
+  bool progressed = true;
+  while (progressed && !decided_) {
+    progressed = false;
+    const ProcessId coord = coordinator(round_);
+    const bool is_coord = coord == ctx.self();
+
+    // Coordinator phase 2: propose once a majority of estimates arrived.
+    if (is_coord) {
+      Tally& tally = tallies_[round_];
+      if (!tally.proposed && tally.estimates >= majority()) {
+        tally.proposed = true;
+        tally.proposal_value = tally.best_est;
+        Writer w;
+        w.u8(kPropose);
+        w.varint(round_);
+        w.value(tally.proposal_value);
+        ctx.broadcast(std::move(w).take());
+        proposals_seen_.emplace(round_, tally.proposal_value);
+        progressed = true;
+      }
+    }
+
+    // Participant phase 3: adopt the proposal or suspect the coordinator.
+    if (!replied_this_round_) {
+      const auto it = proposals_seen_.find(round_);
+      if (it != proposals_seen_.end()) {
+        est_ = it->second;
+        ts_ = round_ + 1;
+        replied_this_round_ = true;
+        if (is_coord) {
+          ++tallies_[round_].acks;
+        } else {
+          Writer w;
+          w.u8(kAck);
+          w.varint(round_);
+          ctx.send(coord, std::move(w).take());
+        }
+      } else if (!is_coord && ctx.fd().suspects.contains(coord)) {
+        replied_this_round_ = true;
+        Writer w;
+        w.u8(kNack);
+        w.varint(round_);
+        ctx.send(coord, std::move(w).take());
+      }
+      if (replied_this_round_ && !is_coord) {
+        // Participants move on right after replying.
+        ++round_;
+        begin_round(ctx);
+        progressed = true;
+        continue;
+      }
+    }
+
+    // Coordinator phase 4: with a majority of replies, decide on a
+    // majority of ACKs, otherwise move to the next round.
+    if (is_coord) {
+      Tally& tally = tallies_[round_];
+      if (tally.proposed && !tally.replies_done &&
+          tally.acks + tally.nacks >= majority()) {
+        tally.replies_done = true;
+        if (tally.acks >= majority()) {
+          decide_and_flood(ctx, tally.proposal_value);
+        } else {
+          ++round_;
+          begin_round(ctx);
+        }
+        progressed = true;
+      }
+    }
+  }
+}
+
+}  // namespace rfd::algo

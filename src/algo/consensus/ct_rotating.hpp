@@ -1,0 +1,84 @@
+// The Chandra-Toueg <>S-based rotating-coordinator consensus [CT96].
+//
+// This is the paper's foil (footnote 4): it solves consensus with the weak
+// <>S detector but ONLY under a majority of correct processes, and it is
+// NOT total - a decision can be reached after consulting just a majority,
+// never having heard from the rest. With crashes unbounded it loses
+// termination: a live coordinator can wait forever for a majority of
+// estimates. Experiments E1/E2/E10 run it side by side with the S-based
+// algorithm to show exactly the trade the paper's collapse result is
+// about.
+//
+// Round r (r = 0, 1, ...), coordinator c = r mod n:
+//   1. everyone sends (ESTIMATE, r, est, ts) to c;
+//   2. c waits for a majority of estimates, adopts the one with the
+//      largest timestamp and broadcasts (PROPOSE, r, est);
+//   3. everyone waits for c's proposal or suspects c; they reply ACK
+//      (adopting est with ts := r) or NACK and enter round r+1;
+//   4. c waits for a majority of replies; on a majority of ACKs it decides
+//      and floods (DECIDE, v); receivers decide and re-flood once.
+#pragma once
+
+#include <map>
+
+#include "sim/automaton.hpp"
+
+namespace rfd::algo {
+
+class CtRotatingConsensus final : public sim::Automaton {
+ public:
+  CtRotatingConsensus(ProcessId n, Value proposal, InstanceId instance = 0);
+
+  void on_start(sim::Context& ctx) override;
+  void on_step(sim::Context& ctx, const sim::Incoming* m) override;
+
+  bool decided() const { return decided_; }
+  Value decision() const { return decision_; }
+  int round() const { return round_; }
+
+ private:
+  static constexpr std::uint8_t kEstimate = 1;
+  static constexpr std::uint8_t kPropose = 2;
+  static constexpr std::uint8_t kAck = 3;
+  static constexpr std::uint8_t kNack = 4;
+  static constexpr std::uint8_t kDecide = 5;
+
+  struct Tally {
+    int estimates = 0;
+    Value best_est = kNoValue;
+    Tick best_ts = -1;
+    bool proposed = false;
+    /// The value actually proposed (frozen at propose time: best_est keeps
+    /// tracking late estimate arrivals and must not leak into the decision).
+    Value proposal_value = kNoValue;
+    int acks = 0;
+    int nacks = 0;
+    bool replies_done = false;
+  };
+
+  ProcessId coordinator(int round) const {
+    return static_cast<ProcessId>(round % n_);
+  }
+  int majority() const { return static_cast<int>(n_) / 2 + 1; }
+
+  void begin_round(sim::Context& ctx);
+  void try_advance(sim::Context& ctx);
+  void decide_and_flood(sim::Context& ctx, Value v);
+  void record_estimate(int round, Value est, Tick ts);
+
+  ProcessId n_;
+  Value proposal_;
+  InstanceId instance_;
+
+  Value est_ = kNoValue;
+  Tick ts_ = 0;
+  int round_ = 0;
+  bool replied_this_round_ = false;
+  bool decided_ = false;
+  Value decision_ = kNoValue;
+
+  std::map<int, Tally> tallies_;          // coordinator bookkeeping
+  std::map<int, Value> proposals_seen_;   // PROPOSE per round
+};
+
+}  // namespace rfd::algo

@@ -1,0 +1,150 @@
+#include "algo/consensus/ct_strong.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::algo {
+
+CtStrongConsensus::CtStrongConsensus(ProcessId n, Value proposal,
+                                     InstanceId instance)
+    : n_(n),
+      proposal_(proposal),
+      instance_(instance),
+      v_(static_cast<std::size_t>(n), kNoValue) {
+  RFD_REQUIRE(n >= 2);
+  RFD_REQUIRE(proposal != kNoValue);
+}
+
+Bytes CtStrongConsensus::encode_phase1(int round, const Learned& delta) const {
+  Writer w;
+  w.u8(kPhase1);
+  w.varint(round);
+  w.varint(static_cast<std::int64_t>(delta.size()));
+  for (const auto& [pid, value] : delta) {
+    w.process(pid);
+    w.value(value);
+  }
+  return std::move(w).take();
+}
+
+Bytes CtStrongConsensus::encode_phase2() const {
+  Writer w;
+  w.u8(kPhase2);
+  w.values(v_);
+  return std::move(w).take();
+}
+
+void CtStrongConsensus::on_start(sim::Context& ctx) {
+  v_[static_cast<std::size_t>(ctx.self())] = proposal_;
+  round_ = 1;
+  const Learned initial{{ctx.self(), proposal_}};
+  ctx.broadcast(encode_phase1(1, initial));
+  try_advance(ctx);
+}
+
+void CtStrongConsensus::on_step(sim::Context& ctx, const sim::Incoming* m) {
+  if (m != nullptr) {
+    Reader r(m->payload);
+    const auto type = r.u8();
+    if (type == kPhase1) {
+      const int round = static_cast<int>(r.varint());
+      const auto count = r.varint();
+      Learned delta;
+      delta.reserve(static_cast<std::size_t>(count));
+      for (std::int64_t i = 0; i < count; ++i) {
+        const ProcessId pid = r.process();
+        const Value value = r.value();
+        delta.emplace_back(pid, value);
+      }
+      ph1_[round].emplace(m->src, std::move(delta));
+    } else if (type == kPhase2) {
+      ph2_.emplace(m->src, r.values());
+    } else {
+      RFD_UNREACHABLE("unknown ct_strong message type");
+    }
+  }
+  try_advance(ctx);
+}
+
+void CtStrongConsensus::try_advance(sim::Context& ctx) {
+  if (decided_ || halted_) return;
+  const ProcessSet& suspects = ctx.fd().suspects;
+  bool progressed = true;
+  while (progressed && !decided_) {
+    progressed = false;
+    if (!in_phase2_) {
+      // Wait until, for every other q, we have q's round message or q is
+      // suspected right now.
+      auto& round_msgs = ph1_[round_];
+      bool ready = true;
+      for (ProcessId q = 0; q < n_ && ready; ++q) {
+        if (q == ctx.self()) continue;
+        if (round_msgs.count(q) == 0 && !suspects.contains(q)) ready = false;
+      }
+      if (!ready) return;
+
+      // Merge everything learned this round; collect what is new to us.
+      Learned newly;
+      for (const auto& [sender, delta] : round_msgs) {
+        for (const auto& [pid, value] : delta) {
+          auto& slot = v_[static_cast<std::size_t>(pid)];
+          if (slot == kNoValue) {
+            slot = value;
+            newly.emplace_back(pid, value);
+          }
+        }
+      }
+      ++round_;
+      if (round_ <= static_cast<int>(n_) - 1) {
+        ctx.broadcast(encode_phase1(round_, newly));
+      } else {
+        in_phase2_ = true;
+        ph2_.emplace(ctx.self(), v_);
+        ctx.broadcast(encode_phase2());
+      }
+      progressed = true;
+    } else {
+      bool ready = true;
+      for (ProcessId q = 0; q < n_ && ready; ++q) {
+        if (q == ctx.self()) continue;
+        if (ph2_.count(q) == 0 && !suspects.contains(q)) ready = false;
+      }
+      if (!ready) return;
+
+      // V := intersection of all received vectors (own included): keep a
+      // component only if every received vector knows it.
+      for (ProcessId i = 0; i < n_; ++i) {
+        bool everywhere = true;
+        for (const auto& [sender, vec] : ph2_) {
+          if (vec[static_cast<std::size_t>(i)] == kNoValue) {
+            everywhere = false;
+            break;
+          }
+        }
+        if (!everywhere) {
+          v_[static_cast<std::size_t>(i)] = kNoValue;
+        }
+      }
+
+      // Phase 3: decide the first non-bottom component. Weak accuracy
+      // guarantees the intersection is non-empty (it contains V_c); with a
+      // detector outside S the intersection can drain, in which case the
+      // automaton halts undecided - a liveness failure the spec checkers
+      // surface, rather than an abort.
+      for (ProcessId i = 0; i < n_; ++i) {
+        if (v_[static_cast<std::size_t>(i)] != kNoValue) {
+          decided_ = true;
+          decision_ = v_[static_cast<std::size_t>(i)];
+          ctx.decide(instance_, decision_);
+          break;
+        }
+      }
+      if (!decided_) {
+        halted_ = true;
+        return;
+      }
+      progressed = true;
+    }
+  }
+}
+
+}  // namespace rfd::algo

@@ -1,0 +1,72 @@
+// The Chandra-Toueg S-based consensus algorithm [CT96, Figure 5-style],
+// the "sufficient" half of Proposition 4.3: it solves (uniform) consensus
+// with ANY Strong failure detector - in particular any Perfect one - no
+// matter how many processes crash.
+//
+// Phase 1 runs n-1 asynchronous rounds. In round r every process
+// broadcasts the values it newly learned in round r-1 and waits, for every
+// other process q, until it has q's round-r message or its detector
+// suspects q. Phase 2 exchanges the resulting vectors V_p and intersects
+// the received ones. Phase 3 decides the first non-bottom component.
+//
+// Weak accuracy gives a correct process c that is never suspected; the
+// classic relay argument shows every process finishing phase 2 holds
+// exactly V_c, so all decisions (even by processes that crash right after
+// deciding) are equal: agreement is uniform.
+//
+// With a *realistic* detector (suspected => crashed) the algorithm is
+// total in the sense of Section 4.2: no decision happens before hearing,
+// directly or transitively, from every process alive at decision time.
+// With the clairvoyant S(cheat) detector it loses totality while remaining
+// correct - the contrast experiment E2 is built on exactly that.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/automaton.hpp"
+
+namespace rfd::algo {
+
+class CtStrongConsensus final : public sim::Automaton {
+ public:
+  /// `n` processes; this replica proposes `proposal`. Decisions are
+  /// recorded under `instance`.
+  CtStrongConsensus(ProcessId n, Value proposal, InstanceId instance = 0);
+
+  void on_start(sim::Context& ctx) override;
+  void on_step(sim::Context& ctx, const sim::Incoming* m) override;
+
+  bool decided() const { return decided_; }
+  Value decision() const { return decision_; }
+  /// Current phase-1 round (n says phase 1 finished), for diagnostics.
+  int round() const { return round_; }
+
+ private:
+  static constexpr std::uint8_t kPhase1 = 1;
+  static constexpr std::uint8_t kPhase2 = 2;
+
+  using Learned = std::vector<std::pair<ProcessId, Value>>;
+
+  Bytes encode_phase1(int round, const Learned& delta) const;
+  Bytes encode_phase2() const;
+  void try_advance(sim::Context& ctx);
+
+  ProcessId n_;
+  Value proposal_;
+  InstanceId instance_;
+
+  std::vector<Value> v_;  // V_p: component q holds q's proposal or kNoValue
+  int round_ = 0;         // current phase-1 round, 1-based
+  bool in_phase2_ = false;
+  bool decided_ = false;
+  bool halted_ = false;   // empty phase-2 intersection (detector not in S)
+  Value decision_ = kNoValue;
+
+  /// Round -> sender -> values newly learned by the sender that round.
+  std::map<int, std::map<ProcessId, Learned>> ph1_;
+  /// Phase-2 vectors received (own vector included on entry to phase 2).
+  std::map<ProcessId, std::vector<Value>> ph2_;
+};
+
+}  // namespace rfd::algo

@@ -1,0 +1,48 @@
+#include "algo/consensus/marabout_consensus.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::algo {
+
+MaraboutConsensus::MaraboutConsensus(ProcessId n, Value proposal,
+                                     InstanceId instance)
+    : n_(n), proposal_(proposal), instance_(instance) {
+  RFD_REQUIRE(n >= 2);
+  RFD_REQUIRE(proposal != kNoValue);
+}
+
+void MaraboutConsensus::on_start(sim::Context& ctx) {
+  // Select the smallest non-suspected process. With the Marabout this is
+  // the smallest correct process, identically at every process and time.
+  const ProcessSet& suspects = ctx.fd().suspects;
+  leader_ = -1;
+  for (ProcessId q = 0; q < n_; ++q) {
+    if (!suspects.contains(q)) {
+      leader_ = q;
+      break;
+    }
+  }
+  if (leader_ == -1) {
+    // Every process is faulty; termination is vacuous, nothing to do.
+    return;
+  }
+  if (leader_ == ctx.self()) {
+    decided_ = true;
+    decision_ = proposal_;
+    ctx.decide(instance_, proposal_);
+    Writer w;
+    w.value(proposal_);
+    ctx.broadcast(std::move(w).take());
+  }
+}
+
+void MaraboutConsensus::on_step(sim::Context& ctx, const sim::Incoming* m) {
+  if (decided_ || m == nullptr || leader_ == -1) return;
+  if (m->src != leader_) return;
+  Reader r(m->payload);
+  decided_ = true;
+  decision_ = r.value();
+  ctx.decide(instance_, decision_);
+}
+
+}  // namespace rfd::algo

@@ -1,0 +1,42 @@
+// Consensus from the Marabout detector (Section 6.1).
+//
+// The Marabout constantly outputs the run's faulty set, so every process
+// deterministically elects the same leader - the smallest process that is
+// not suspected, i.e. the smallest *correct* process - at its very first
+// step. The leader decides its own value and broadcasts it; everyone else
+// decides the leader's value on receipt. Because the leader is correct by
+// construction (future knowledge!), the algorithm terminates under any
+// number of crashes and never needs a single failure-information update.
+//
+// This is the paper's "obvious algorithm A" witnessing that the weakest-
+// failure-detector results of Sections 4 and 5 genuinely depend on
+// realism: M solves consensus with unbounded crashes yet provides nothing
+// like P's information about the past.
+#pragma once
+
+#include "sim/automaton.hpp"
+
+namespace rfd::algo {
+
+class MaraboutConsensus final : public sim::Automaton {
+ public:
+  MaraboutConsensus(ProcessId n, Value proposal, InstanceId instance = 0);
+
+  void on_start(sim::Context& ctx) override;
+  void on_step(sim::Context& ctx, const sim::Incoming* m) override;
+
+  bool decided() const { return decided_; }
+  Value decision() const { return decision_; }
+  ProcessId leader() const { return leader_; }
+
+ private:
+  ProcessId n_;
+  Value proposal_;
+  InstanceId instance_;
+
+  ProcessId leader_ = -1;
+  bool decided_ = false;
+  Value decision_ = kNoValue;
+};
+
+}  // namespace rfd::algo

@@ -1,0 +1,227 @@
+#include "algo/specs.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rfd::algo {
+namespace {
+
+std::string pid(ProcessId p) { return "p" + std::to_string(p); }
+
+}  // namespace
+
+std::string ConsensusCheck::to_string() const {
+  std::string out;
+  auto flag = [&](bool b, const char* name) {
+    out += std::string(name) + (b ? "+" : "-") + " ";
+  };
+  flag(termination, "term");
+  flag(uniform_agreement, "u-agree");
+  flag(agreement, "agree");
+  flag(validity, "valid");
+  flag(integrity, "integ");
+  if (!detail.empty()) out += "(" + detail + ")";
+  return out;
+}
+
+ConsensusCheck check_consensus(const sim::Trace& trace, InstanceId instance,
+                               const std::vector<Value>& proposals) {
+  ConsensusCheck check;
+  const auto decisions = trace.decisions_of_instance(instance);
+  const ProcessSet correct = trace.pattern().correct();
+
+  // Integrity: at most one decision per process.
+  std::map<ProcessId, Value> first_decision;
+  for (const auto& d : decisions) {
+    const auto [it, inserted] = first_decision.emplace(d.process, d.value);
+    if (!inserted) {
+      check.integrity = false;
+      check.detail += pid(d.process) + " decided twice; ";
+    }
+  }
+
+  // Termination: every correct process decided within the window.
+  correct.for_each([&](ProcessId p) {
+    if (first_decision.count(p) == 0) {
+      check.termination = false;
+      check.detail += pid(p) + " never decided; ";
+    }
+  });
+
+  // Agreement: uniform (all deciders) and correct-restricted variants.
+  Value uniform_value = kNoValue;
+  for (const auto& [p, v] : first_decision) {
+    if (uniform_value == kNoValue) {
+      uniform_value = v;
+    } else if (v != uniform_value) {
+      check.uniform_agreement = false;
+      check.detail += "uniform disagreement at " + pid(p) + "; ";
+    }
+  }
+  Value correct_value = kNoValue;
+  for (const auto& [p, v] : first_decision) {
+    if (!correct.contains(p)) continue;
+    if (correct_value == kNoValue) {
+      correct_value = v;
+    } else if (v != correct_value) {
+      check.agreement = false;
+      check.detail += "correct processes disagree at " + pid(p) + "; ";
+    }
+  }
+
+  // Validity: decided values were proposed.
+  for (const auto& [p, v] : first_decision) {
+    if (std::find(proposals.begin(), proposals.end(), v) == proposals.end()) {
+      check.validity = false;
+      check.detail += pid(p) + " decided unproposed " + std::to_string(v) +
+                      "; ";
+    }
+  }
+  return check;
+}
+
+std::string TrbCheck::to_string() const {
+  std::string out;
+  auto flag = [&](bool b, const char* name) {
+    out += std::string(name) + (b ? "+" : "-") + " ";
+  };
+  flag(termination, "term");
+  flag(agreement, "agree");
+  flag(validity, "valid");
+  flag(integrity, "integ");
+  if (!detail.empty()) out += "(" + detail + ")";
+  return out;
+}
+
+TrbCheck check_trb(const sim::Trace& trace, InstanceId instance,
+                   ProcessId sender, Value broadcast_value) {
+  TrbCheck check;
+  const auto deliveries = trace.deliveries_of_instance(instance);
+  const ProcessSet correct = trace.pattern().correct();
+  const bool sender_correct = correct.contains(sender);
+
+  std::map<ProcessId, Value> first_delivery;
+  for (const auto& d : deliveries) {
+    const auto [it, inserted] = first_delivery.emplace(d.process, d.value);
+    if (!inserted) {
+      check.termination = false;  // "exactly once" violated
+      check.detail += pid(d.process) + " delivered twice; ";
+    }
+  }
+
+  correct.for_each([&](ProcessId p) {
+    if (first_delivery.count(p) == 0) {
+      check.termination = false;
+      check.detail += pid(p) + " never delivered; ";
+    }
+  });
+
+  Value common = kNoValue;
+  for (const auto& [p, v] : first_delivery) {
+    if (common == kNoValue) {
+      common = v;
+    } else if (v != common) {
+      check.agreement = false;
+      check.detail += "deliveries differ at " + pid(p) + "; ";
+    }
+  }
+
+  for (const auto& [p, v] : first_delivery) {
+    if (sender_correct && v == kNilValue) {
+      check.validity = false;
+      check.detail += pid(p) + " delivered nil for a correct sender; ";
+    }
+    if (v != kNilValue && v != broadcast_value) {
+      check.integrity = false;
+      check.detail += pid(p) + " delivered a value never broadcast; ";
+    }
+  }
+  return check;
+}
+
+std::string AbcastCheck::to_string() const {
+  std::string out;
+  auto flag = [&](bool b, const char* name) {
+    out += std::string(name) + (b ? "+" : "-") + " ";
+  };
+  flag(validity, "valid");
+  flag(agreement, "agree");
+  flag(total_order, "order");
+  flag(integrity, "integ");
+  if (!detail.empty()) out += "(" + detail + ")";
+  return out;
+}
+
+AbcastCheck check_abcast(const sim::Trace& trace, InstanceId abcast_instance,
+                         const std::vector<Value>& broadcast_by_correct,
+                         const std::vector<Value>& broadcast_all) {
+  AbcastCheck check;
+  const ProcessSet correct = trace.pattern().correct();
+
+  std::map<ProcessId, std::vector<Value>> sequences;
+  for (const auto& d : trace.deliveries_of_instance(abcast_instance)) {
+    sequences[d.process].push_back(d.value);
+  }
+
+  // Integrity: no duplicates, only broadcast values.
+  for (const auto& [p, seq] : sequences) {
+    std::vector<Value> sorted = seq;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      check.integrity = false;
+      check.detail += pid(p) + " delivered a duplicate; ";
+    }
+    for (Value v : seq) {
+      if (std::find(broadcast_all.begin(), broadcast_all.end(), v) ==
+          broadcast_all.end()) {
+        check.integrity = false;
+        check.detail += pid(p) + " delivered unknown value; ";
+      }
+    }
+  }
+
+  // Validity: everything a correct process broadcast reaches every correct
+  // process.
+  correct.for_each([&](ProcessId p) {
+    const auto& seq = sequences[p];
+    for (Value v : broadcast_by_correct) {
+      if (std::find(seq.begin(), seq.end(), v) == seq.end()) {
+        check.validity = false;
+        check.detail += pid(p) + " missing value " + std::to_string(v) + "; ";
+      }
+    }
+  });
+
+  // Agreement: all correct processes deliver the same sequence.
+  std::vector<Value> reference;
+  bool have_reference = false;
+  correct.for_each([&](ProcessId p) {
+    if (!have_reference) {
+      reference = sequences[p];
+      have_reference = true;
+    } else if (sequences[p] != reference) {
+      check.agreement = false;
+      check.detail += pid(p) + " delivered a different sequence; ";
+    }
+  });
+
+  // Uniform total order: every process's sequence (including processes
+  // that later crashed) is a prefix of the longest sequence.
+  const std::vector<Value>* longest = nullptr;
+  for (const auto& [p, seq] : sequences) {
+    if (longest == nullptr || seq.size() > longest->size()) {
+      longest = &seq;
+    }
+  }
+  if (longest != nullptr) {
+    for (const auto& [p, seq] : sequences) {
+      if (!std::equal(seq.begin(), seq.end(), longest->begin())) {
+        check.total_order = false;
+        check.detail += pid(p) + " delivery order incompatible; ";
+      }
+    }
+  }
+  return check;
+}
+
+}  // namespace rfd::algo

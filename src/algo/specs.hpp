@@ -1,0 +1,81 @@
+// Problem specifications as trace predicates.
+//
+// Each agreement problem in the paper is a set of properties over runs;
+// here they are executable checks over recorded traces. "Eventually"
+// clauses are evaluated on the bounded window, so callers must run the
+// simulation long enough for the algorithm under test to quiesce - the
+// experiment harness picks horizons from the algorithm's own bounds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace rfd::algo {
+
+/// Consensus (Section 4): termination, agreement, validity - plus the
+/// distinction the paper builds Section 6.2 on: *uniform* agreement (no
+/// two processes decide differently, full stop) versus correct-restricted
+/// agreement (only correct processes must agree).
+struct ConsensusCheck {
+  bool termination = true;          // every correct process decides
+  bool uniform_agreement = true;    // no two decisions differ
+  bool agreement = true;            // no two decisions by correct processes differ
+  bool validity = true;             // decisions are proposed values
+  bool integrity = true;            // nobody decides twice
+  std::string detail;
+
+  bool ok_uniform() const {
+    return termination && uniform_agreement && validity && integrity;
+  }
+  bool ok_correct_restricted() const {
+    return termination && agreement && validity && integrity;
+  }
+  std::string to_string() const;
+};
+
+ConsensusCheck check_consensus(const sim::Trace& trace, InstanceId instance,
+                               const std::vector<Value>& proposals);
+
+/// Terminating reliable broadcast (Section 5), instance (sender, *).
+///   termination - every correct process delivers exactly one value;
+///   agreement   - no two processes deliver different values;
+///   validity    - a correct sender's value is delivered (never nil);
+///   integrity   - a non-nil delivery is the sender's actual value.
+struct TrbCheck {
+  bool termination = true;
+  bool agreement = true;
+  bool validity = true;
+  bool integrity = true;
+  std::string detail;
+
+  bool ok() const { return termination && agreement && validity && integrity; }
+  std::string to_string() const;
+};
+
+TrbCheck check_trb(const sim::Trace& trace, InstanceId instance,
+                   ProcessId sender, Value broadcast_value);
+
+/// Atomic broadcast [CT96]: validity (correct broadcasters' messages are
+/// delivered by all correct processes), agreement (correct processes
+/// deliver the same messages), uniform total order (any two delivery
+/// sequences are prefix-compatible), integrity (no duplicates or
+/// inventions). Deliveries are read from the trace's instance
+/// `abcast_instance`.
+struct AbcastCheck {
+  bool validity = true;
+  bool agreement = true;
+  bool total_order = true;
+  bool integrity = true;
+  std::string detail;
+
+  bool ok() const { return validity && agreement && total_order && integrity; }
+  std::string to_string() const;
+};
+
+AbcastCheck check_abcast(const sim::Trace& trace, InstanceId abcast_instance,
+                         const std::vector<Value>& broadcast_by_correct,
+                         const std::vector<Value>& broadcast_all);
+
+}  // namespace rfd::algo

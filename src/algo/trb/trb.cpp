@@ -1,0 +1,91 @@
+#include "algo/trb/trb.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::algo {
+
+TrbAutomaton::TrbAutomaton(ProcessId n, ProcessId sender, Value value,
+                           InstanceId instance)
+    : n_(n), sender_(sender), value_(value), instance_(instance) {
+  RFD_REQUIRE(n >= 2);
+  RFD_REQUIRE(sender >= 0 && sender < n);
+  RFD_REQUIRE(value != kNoValue && value != kNilValue);
+}
+
+sim::SubInstanceContext TrbAutomaton::consensus_context(sim::Context& ctx) {
+  auto on_decide = [this, &ctx](Value v) {
+    if (delivered_) return;
+    delivered_ = true;
+    delivery_ = v;
+    ctx.deliver(instance_, v);
+  };
+  // record=false: the embedded consensus decision surfaces as a TRB
+  // delivery, not as a consensus decision of its own.
+  return sim::SubInstanceContext(ctx, kConsensusTag, on_decide, nullptr,
+                                 /*record=*/false);
+}
+
+void TrbAutomaton::propose(sim::Context& ctx, Value v) {
+  if (consensus_ != nullptr) return;
+  proposal_ = v;
+  consensus_ = std::make_unique<CtStrongConsensus>(n_, v);
+  {
+    sim::SubInstanceContext sub = consensus_context(ctx);
+    consensus_->on_start(sub);
+  }
+  // Replay consensus traffic that arrived before we had a proposal.
+  for (const auto& msg : buffered_) {
+    route_to_consensus(ctx, msg.src, msg.payload, msg.tags, msg.id);
+  }
+  buffered_.clear();
+}
+
+void TrbAutomaton::route_to_consensus(sim::Context& ctx, ProcessId src,
+                                      const Bytes& payload,
+                                      const ProcessSet& tags, MessageId id) {
+  sim::SubInstanceContext sub = consensus_context(ctx);
+  const sim::Incoming incoming{src, payload, tags, id};
+  consensus_->on_step(sub, &incoming);
+}
+
+void TrbAutomaton::on_start(sim::Context& ctx) {
+  if (ctx.self() == sender_) {
+    Writer w;
+    w.value(value_);
+    ctx.broadcast(sim::frame(kValueTag, std::move(w).take()));
+    propose(ctx, value_);
+  } else if (ctx.fd().suspects.contains(sender_)) {
+    propose(ctx, kNilValue);
+  }
+}
+
+void TrbAutomaton::on_step(sim::Context& ctx, const sim::Incoming* m) {
+  if (m != nullptr) {
+    auto [tag, inner] = sim::unframe(m->payload);
+    if (tag == kValueTag) {
+      if (m->src == sender_ && consensus_ == nullptr) {
+        Reader r(inner);
+        propose(ctx, r.value());
+      }
+    } else if (tag == kConsensusTag) {
+      if (consensus_ == nullptr) {
+        buffered_.push_back({m->src, inner, m->alive_tags, m->id});
+      } else {
+        route_to_consensus(ctx, m->src, inner, m->alive_tags, m->id);
+      }
+    }
+  }
+  // Waiting processes re-check the detector on every step: a suspicion of
+  // the sender turns into a nil proposal.
+  if (consensus_ == nullptr && ctx.fd().suspects.contains(sender_)) {
+    propose(ctx, kNilValue);
+  }
+  // Give the embedded consensus a chance to advance on lambda steps too
+  // (its waits depend on the current suspect set).
+  if (consensus_ != nullptr && m == nullptr) {
+    sim::SubInstanceContext sub = consensus_context(ctx);
+    consensus_->on_step(sub, nullptr);
+  }
+}
+
+}  // namespace rfd::algo

@@ -1,0 +1,74 @@
+// Terminating reliable broadcast from a Perfect failure detector
+// (Section 5, sufficient condition) - the crash-stop rephrasing of the
+// Byzantine Generals problem.
+//
+// For instance (sender, *): the sender broadcasts its value; every process
+// waits until it either receives the sender's value (then proposes it) or
+// suspects the sender (then proposes nil), and feeds the proposal to an
+// embedded uniform consensus (the S-based algorithm, which P implements).
+// The consensus decision is delivered.
+//
+// With a realistic P detector a suspicion implies the sender really
+// crashed, so nil is delivered only for genuinely faulty senders
+// (integrity + validity); consensus supplies agreement and termination
+// under unbounded crashes. Conversely the emulation half of Proposition
+// 5.1 (reduction/trb_to_p) reads nil deliveries back as Perfect-grade
+// suspicions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algo/consensus/ct_strong.hpp"
+#include "sim/automaton.hpp"
+#include "sim/composition.hpp"
+
+namespace rfd::algo {
+
+class TrbAutomaton final : public sim::Automaton {
+ public:
+  /// One broadcast instance. `sender` broadcasts `value`; deliveries are
+  /// recorded under `instance`.
+  TrbAutomaton(ProcessId n, ProcessId sender, Value value,
+               InstanceId instance = 0);
+
+  void on_start(sim::Context& ctx) override;
+  void on_step(sim::Context& ctx, const sim::Incoming* m) override;
+
+  bool delivered() const { return delivered_; }
+  Value delivery() const { return delivery_; }
+  /// What this process proposed to the embedded consensus (kNoValue until
+  /// it proposed).
+  Value proposal() const { return proposal_; }
+
+ private:
+  static constexpr InstanceId kValueTag = 0;
+  static constexpr InstanceId kConsensusTag = 1;
+
+  struct BufferedMsg {
+    ProcessId src;
+    Bytes payload;
+    ProcessSet tags;
+    MessageId id;
+  };
+
+  void propose(sim::Context& ctx, Value v);
+  void route_to_consensus(sim::Context& ctx, ProcessId src,
+                          const Bytes& payload, const ProcessSet& tags,
+                          MessageId id);
+  sim::SubInstanceContext consensus_context(sim::Context& ctx);
+
+  ProcessId n_;
+  ProcessId sender_;
+  Value value_;
+  InstanceId instance_;
+
+  Value proposal_ = kNoValue;
+  bool delivered_ = false;
+  Value delivery_ = kNoValue;
+
+  std::unique_ptr<CtStrongConsensus> consensus_;
+  std::vector<BufferedMsg> buffered_;  // consensus traffic before proposing
+};
+
+}  // namespace rfd::algo

@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace rfd {
+namespace {
+
+LogLevel& level_storage() {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage(); }
+
+void set_log_level(LogLevel level) { level_storage() = level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line) {
+  std::fprintf(stderr, "[rfd %-5s] %s\n", level_name(level), line.c_str());
+}
+}  // namespace detail
+
+LogStatement::~LogStatement() {
+  if (enabled()) {
+    detail::log_line(level_, stream_.str());
+  }
+}
+
+}  // namespace rfd

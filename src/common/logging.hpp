@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and fully traced, so logging is a
+// debugging aid rather than an observability system; it is off by default
+// and routed to stderr. No global mutable state other than the level
+// (which tests may set), per Core Guidelines I.2 the level is accessed
+// through functions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rfd {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+/// Stream-style log statement: RFD_LOG(kInfo) << "consensus decided " << v;
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement();
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    if (enabled()) stream_ << v;
+    return *this;
+  }
+
+  bool enabled() const { return level_ >= log_level(); }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rfd
+
+#define RFD_LOG(level) ::rfd::LogStatement(::rfd::LogLevel::level)

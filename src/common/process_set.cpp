@@ -1,0 +1,172 @@
+#include "common/process_set.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace rfd {
+namespace {
+
+std::size_t word_count(ProcessId universe_size) {
+  return static_cast<std::size_t>((universe_size + 63) / 64);
+}
+
+}  // namespace
+
+ProcessSet::ProcessSet(ProcessId universe_size)
+    : universe_size_(universe_size), words_(word_count(universe_size), 0) {
+  RFD_REQUIRE(universe_size >= 0);
+}
+
+ProcessSet ProcessSet::full(ProcessId universe_size) {
+  ProcessSet s(universe_size);
+  for (ProcessId p = 0; p < universe_size; ++p) {
+    s.insert(p);
+  }
+  return s;
+}
+
+ProcessSet ProcessSet::of(ProcessId universe_size,
+                          std::initializer_list<ProcessId> members) {
+  ProcessSet s(universe_size);
+  for (ProcessId p : members) {
+    s.insert(p);
+  }
+  return s;
+}
+
+bool ProcessSet::contains(ProcessId p) const {
+  if (p < 0 || p >= universe_size_) return false;
+  const auto idx = static_cast<std::size_t>(p);
+  return (words_[idx / 64] >> (idx % 64)) & 1u;
+}
+
+void ProcessSet::insert(ProcessId p) {
+  RFD_REQUIRE_MSG(p >= 0 && p < universe_size_,
+                  "process id outside the universe");
+  const auto idx = static_cast<std::size_t>(p);
+  words_[idx / 64] |= std::uint64_t{1} << (idx % 64);
+}
+
+void ProcessSet::erase(ProcessId p) {
+  if (p < 0 || p >= universe_size_) return;
+  const auto idx = static_cast<std::size_t>(p);
+  words_[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+}
+
+void ProcessSet::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+ProcessId ProcessSet::count() const {
+  int total = 0;
+  for (auto w : words_) {
+    total += std::popcount(w);
+  }
+  return total;
+}
+
+ProcessId ProcessSet::min() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<ProcessId>(w * 64 +
+                                    static_cast<std::size_t>(
+                                        std::countr_zero(words_[w])));
+    }
+  }
+  return -1;
+}
+
+ProcessId ProcessSet::max() const {
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != 0) {
+      return static_cast<ProcessId>(w * 64 + 63 -
+                                    static_cast<std::size_t>(
+                                        std::countl_zero(words_[w])));
+    }
+  }
+  return -1;
+}
+
+std::vector<ProcessId> ProcessSet::members() const {
+  std::vector<ProcessId> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for_each([&out](ProcessId p) { out.push_back(p); });
+  return out;
+}
+
+void ProcessSet::check_universe(const ProcessSet& other) const {
+  RFD_REQUIRE_MSG(universe_size_ == other.universe_size_,
+                  "set algebra across different universes");
+}
+
+ProcessSet& ProcessSet::operator|=(const ProcessSet& other) {
+  check_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+ProcessSet& ProcessSet::operator&=(const ProcessSet& other) {
+  check_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+ProcessSet& ProcessSet::operator-=(const ProcessSet& other) {
+  check_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+  return *this;
+}
+
+ProcessSet ProcessSet::complement() const {
+  ProcessSet out(universe_size_);
+  for (ProcessId p = 0; p < universe_size_; ++p) {
+    if (!contains(p)) out.insert(p);
+  }
+  return out;
+}
+
+bool ProcessSet::is_subset_of(const ProcessSet& other) const {
+  check_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool ProcessSet::intersects(const ProcessSet& other) const {
+  check_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool ProcessSet::operator==(const ProcessSet& other) const {
+  return universe_size_ == other.universe_size_ && words_ == other.words_;
+}
+
+std::uint64_t ProcessSet::hash() const {
+  std::uint64_t h = static_cast<std::uint64_t>(universe_size_);
+  for (auto w : words_) {
+    h = mix_seed(h, w);
+  }
+  return h;
+}
+
+std::string ProcessSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for_each([&](ProcessId p) {
+    if (!first) out += ",";
+    first = false;
+    out += "p" + std::to_string(p);
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace rfd

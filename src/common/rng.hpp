@@ -1,0 +1,85 @@
+// Deterministic random number generation.
+//
+// Every run of the simulator is a pure function of its seeds, so all
+// randomness flows through these generators. We implement xoshiro256**
+// (public-domain algorithm by Blackman & Vigna) seeded via splitmix64,
+// rather than std::mt19937, because (a) its stream is identical across
+// standard library implementations, which makes recorded experiment tables
+// reproducible anywhere, and (b) it is cheap to split into independent
+// child generators, one per process / channel / detector module.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace rfd {
+
+/// splitmix64 step; used for seeding and for hashing seeds into streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mixing of several seed components into one 64-bit seed.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b);
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses
+  /// rejection sampling (Lemire-style) so the distribution is exact.
+  std::int64_t below(std::int64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed double (Box-Muller; consumes two uniforms).
+  double normal(double mean, double stddev);
+
+  /// Log-normally distributed double parameterized by the underlying
+  /// normal's mu and sigma.
+  double lognormal(double mu, double sigma);
+
+  /// A child generator whose stream is independent of this one and of any
+  /// sibling split with a different tag. Does not advance this generator:
+  /// splitting is by tag, so call sites remain order-independent.
+  Rng split(std::uint64_t tag) const;
+
+  /// Fisher-Yates shuffle of a contiguous range.
+  template <typename T>
+  void shuffle(T* data, std::int64_t size) {
+    for (std::int64_t i = size - 1; i > 0; --i) {
+      const std::int64_t j = below(i + 1);
+      if (i != j) {
+        T tmp = static_cast<T&&>(data[i]);
+        data[i] = static_cast<T&&>(data[j]);
+        data[j] = static_cast<T&&>(tmp);
+      }
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  std::uint64_t seed_;  // retained so split() can derive child seeds
+};
+
+}  // namespace rfd

@@ -1,0 +1,113 @@
+#include "common/serialization.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd {
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+
+void Writer::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Writer::varint(std::int64_t v) {
+  // Zig-zag then LEB128.
+  auto zz = static_cast<std::uint64_t>((v << 1) ^ (v >> 63));
+  while (zz >= 0x80) {
+    u8(static_cast<std::uint8_t>(zz | 0x80));
+    zz >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(zz));
+}
+
+void Writer::str(const std::string& s) {
+  varint(static_cast<std::int64_t>(s.size()));
+  for (char c : s) {
+    buf_.push_back(static_cast<std::byte>(c));
+  }
+}
+
+void Writer::bytes(const Bytes& b) {
+  varint(static_cast<std::int64_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Writer::process_set(const ProcessSet& s) {
+  varint(s.universe_size());
+  varint(s.count());
+  s.for_each([this](ProcessId p) { varint(p); });
+}
+
+void Writer::values(const std::vector<Value>& vs) {
+  varint(static_cast<std::int64_t>(vs.size()));
+  for (Value v : vs) {
+    varint(v);
+  }
+}
+
+std::uint8_t Reader::u8() {
+  RFD_REQUIRE_MSG(pos_ < data_.size(), "reader past end of payload");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+bool Reader::boolean() {
+  const auto v = u8();
+  RFD_REQUIRE_MSG(v <= 1, "malformed bool");
+  return v == 1;
+}
+
+std::int64_t Reader::varint() {
+  std::uint64_t zz = 0;
+  int shift = 0;
+  while (true) {
+    RFD_REQUIRE_MSG(shift < 64, "varint too long");
+    const std::uint8_t b = u8();
+    zz |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return static_cast<std::int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+std::string Reader::str() {
+  const auto size = varint();
+  RFD_REQUIRE(size >= 0);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    out.push_back(static_cast<char>(u8()));
+  }
+  return out;
+}
+
+Bytes Reader::bytes() {
+  const auto size = varint();
+  RFD_REQUIRE(size >= 0);
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    out.push_back(static_cast<std::byte>(u8()));
+  }
+  return out;
+}
+
+ProcessSet Reader::process_set() {
+  const auto universe = static_cast<ProcessId>(varint());
+  const auto count = varint();
+  ProcessSet s(universe);
+  for (std::int64_t i = 0; i < count; ++i) {
+    s.insert(static_cast<ProcessId>(varint()));
+  }
+  return s;
+}
+
+std::vector<Value> Reader::values() {
+  const auto size = varint();
+  RFD_REQUIRE(size >= 0);
+  std::vector<Value> out;
+  out.reserve(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    out.push_back(varint());
+  }
+  return out;
+}
+
+}  // namespace rfd

@@ -1,0 +1,71 @@
+// Byte-level serialization for algorithm message payloads.
+//
+// Automata exchange opaque byte payloads through the simulated message
+// buffer; each algorithm defines its own wire format on top of Writer /
+// Reader. Keeping payloads as bytes (rather than a shared variant) keeps
+// the simulator agnostic of the algorithms layered on it, exactly as a real
+// transport would be.
+//
+// Encoding: little-endian zig-zag varints for integers, length-prefixed
+// byte strings, one byte per bool. Readers perform full bounds checking and
+// report malformed input through RFD_REQUIRE (a malformed payload inside
+// the deterministic simulator is a programming error, not an I/O error).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+
+namespace rfd {
+
+using Bytes = std::vector<std::byte>;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void boolean(bool v);
+  /// Zig-zag varint; encodes any int64 including negatives compactly.
+  void varint(std::int64_t v);
+  void value(Value v) { varint(v); }
+  void process(ProcessId p) { varint(p); }
+  void tick(Tick t) { varint(t); }
+  void str(const std::string& s);
+  void bytes(const Bytes& b);
+  void process_set(const ProcessSet& s);
+  /// Vector of int64 values.
+  void values(const std::vector<Value>& vs);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  std::uint8_t u8();
+  bool boolean();
+  std::int64_t varint();
+  Value value() { return varint(); }
+  ProcessId process() { return static_cast<ProcessId>(varint()); }
+  Tick tick() { return varint(); }
+  std::string str();
+  Bytes bytes();
+  ProcessSet process_set();
+  std::vector<Value> values();
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rfd

@@ -1,0 +1,73 @@
+// Running statistics and histograms for the QoS evaluation (experiment E9)
+// and the cost benchmarks (E10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfd {
+
+/// Streaming summary: count / mean / variance via Welford, min/max, and
+/// exact percentiles from retained samples. Retention is fine at our
+/// experiment scales (tens of thousands of samples).
+class Summary {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Exact percentile (q in [0,1]) by sorting retained samples; 0 samples
+  /// yields NaN. Sorting is deferred and cached.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+
+  /// Merges another summary (concatenates retained samples).
+  void merge(const Summary& other);
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void add(double x);
+  std::int64_t total() const { return total_; }
+  std::int64_t bucket_count(int i) const;
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+
+  /// Multi-line ASCII rendering (one row per bucket with a bar).
+  std::string render(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace rfd

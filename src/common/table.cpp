@@ -1,0 +1,101 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace rfd {
+namespace {
+
+bool is_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RFD_REQUIRE(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RFD_REQUIRE_MSG(cells.size() == header_.size(),
+                  "row width differs from header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::yes_no(bool v) { return v ? "yes" : "no"; }
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      const std::size_t pad = widths[c] - cell.size();
+      line += ' ';
+      if (is_numeric(cell)) {
+        line.append(pad, ' ');
+        line += cell;
+      } else {
+        line += cell;
+        line.append(pad, ' ');
+      }
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out;
+  if (!title.empty()) {
+    out += "\n== " + title + " ==\n";
+  }
+  out += sep;
+  out += render_row(header_);
+  out += sep;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+void Table::print(const std::string& title) const {
+  std::fputs(render(title).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace rfd

@@ -1,0 +1,39 @@
+// ASCII table rendering for the experiment harness.
+//
+// Every bench binary prints its results as a paper-style table; this class
+// handles column sizing, alignment and separators so the bench code reads
+// like the table it produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row must have as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string num(std::int64_t v);
+  static std::string fixed(double v, int decimals);
+  static std::string pct(double fraction, int decimals = 1);
+  static std::string yes_no(bool v);
+
+  /// Renders with a title line, header separator, and right-aligned numeric
+  /// cells (a cell is numeric if it parses as a double).
+  std::string render(const std::string& title) const;
+
+  /// Renders and writes to stdout.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rfd

@@ -1,0 +1,50 @@
+// Core vocabulary types shared by every rfd module.
+//
+// The paper's model (Section 2) uses a discrete global clock whose range of
+// ticks is the natural numbers, a finite process set Omega = {p_1..p_n}, and
+// proposal values. We keep all of these as signed integral types per the
+// C++ Core Guidelines (ES.102: use signed types for arithmetic).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rfd {
+
+/// Index of a process in Omega. Processes are numbered 0..n-1 internally;
+/// the paper's p_i corresponds to ProcessId{i - 1}. Ordering of ids matters
+/// for the partially-perfect detector class P< (Section 6.2).
+using ProcessId = std::int32_t;
+
+/// A tick of the discrete global clock Phi (Section 2). The clock is a
+/// presentation device of the model: it is never visible to automata.
+using Tick = std::int64_t;
+
+/// A consensus proposal / decision value. Using a plain integer keeps
+/// schedules and traces compact; richer payloads travel as serialized bytes.
+using Value = std::int64_t;
+
+/// Sentinel for "no value yet" (the bottom element in vector-consensus).
+inline constexpr Value kNoValue = std::numeric_limits<Value>::min();
+
+/// Sentinel for the TRB "nil" delivery (Section 5): delivered when the
+/// broadcaster is detected faulty.
+inline constexpr Value kNilValue = std::numeric_limits<Value>::min() + 1;
+
+/// Sentinel tick meaning "never happens" (e.g. a process that never crashes).
+inline constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+/// Identifier of a simulation event within a trace (dense, 0-based).
+using EventId = std::int64_t;
+inline constexpr EventId kNoEvent = -1;
+
+/// Identifier of a message within a trace (dense, 0-based).
+using MessageId = std::int64_t;
+inline constexpr MessageId kNoMessage = -1;
+
+/// Identifier of a protocol instance when multiplexing several algorithm
+/// instances over one simulation (e.g. the repeated consensus instances of
+/// the T(D->P) reduction, or TRB instance (i, k)).
+using InstanceId = std::int32_t;
+
+}  // namespace rfd

@@ -1,0 +1,186 @@
+#include "core/solvability.hpp"
+
+#include <memory>
+
+#include "algo/consensus/cr_chain.hpp"
+#include "algo/consensus/ct_rotating.hpp"
+#include "algo/consensus/ct_strong.hpp"
+#include "algo/consensus/marabout_consensus.hpp"
+#include "algo/specs.hpp"
+#include "algo/trb/trb.hpp"
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace rfd::core {
+namespace {
+
+constexpr Value kTrbValue = 7777;
+
+Value proposal_of(ProcessId p) { return 100 + static_cast<Value>(p); }
+
+std::unique_ptr<sim::Automaton> make_automaton(AlgoKind kind, ProcessId n,
+                                               ProcessId self,
+                                               ProcessId trb_sender) {
+  switch (kind) {
+    case AlgoKind::kCtStrong:
+      return std::make_unique<algo::CtStrongConsensus>(n, proposal_of(self));
+    case AlgoKind::kCtRotating:
+      return std::make_unique<algo::CtRotatingConsensus>(n, proposal_of(self));
+    case AlgoKind::kMarabout:
+      return std::make_unique<algo::MaraboutConsensus>(n, proposal_of(self));
+    case AlgoKind::kCrChain:
+      return std::make_unique<algo::CrChainConsensus>(n, proposal_of(self));
+    case AlgoKind::kTrb:
+      return std::make_unique<algo::TrbAutomaton>(n, trb_sender, kTrbValue);
+  }
+  RFD_UNREACHABLE("unknown algorithm kind");
+}
+
+struct RunOutcome {
+  bool safety_ok = true;
+  bool live = true;
+  std::string detail;
+};
+
+RunOutcome judge(const sim::Trace& trace, SpecKind spec, ProcessId n,
+                 ProcessId trb_sender) {
+  std::vector<Value> proposals;
+  for (ProcessId p = 0; p < n; ++p) proposals.push_back(proposal_of(p));
+
+  RunOutcome outcome;
+  switch (spec) {
+    case SpecKind::kUniformConsensus: {
+      const auto check = algo::check_consensus(trace, 0, proposals);
+      outcome.safety_ok = check.uniform_agreement && check.validity &&
+                          check.integrity;
+      outcome.live = check.termination;
+      if (!check.ok_uniform()) outcome.detail = check.to_string();
+      break;
+    }
+    case SpecKind::kCorrectRestrictedConsensus: {
+      const auto check = algo::check_consensus(trace, 0, proposals);
+      outcome.safety_ok = check.agreement && check.validity && check.integrity;
+      outcome.live = check.termination;
+      if (!check.ok_correct_restricted()) outcome.detail = check.to_string();
+      break;
+    }
+    case SpecKind::kTrb: {
+      const auto check = algo::check_trb(trace, 0, trb_sender, kTrbValue);
+      outcome.safety_ok = check.agreement && check.validity && check.integrity;
+      outcome.live = check.termination;
+      if (!check.ok()) outcome.detail = check.to_string();
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+std::string algo_name(AlgoKind kind) {
+  switch (kind) {
+    case AlgoKind::kCtStrong:
+      return "CT-S";
+    case AlgoKind::kCtRotating:
+      return "CT-<>S";
+    case AlgoKind::kMarabout:
+      return "leader(M)";
+    case AlgoKind::kCrChain:
+      return "chain(P<)";
+    case AlgoKind::kTrb:
+      return "TRB";
+  }
+  return "?";
+}
+
+std::string spec_name(SpecKind kind) {
+  switch (kind) {
+    case SpecKind::kUniformConsensus:
+      return "uniform consensus";
+    case SpecKind::kCorrectRestrictedConsensus:
+      return "consensus (correct-restricted)";
+    case SpecKind::kTrb:
+      return "TRB";
+  }
+  return "?";
+}
+
+std::string Verdict::to_string() const {
+  std::string out = std::to_string(ok) + "/" + std::to_string(runs) + " ok";
+  if (safety_violations > 0) {
+    out += ", " + std::to_string(safety_violations) + " unsafe";
+  }
+  if (liveness_failures > 0) {
+    out += ", " + std::to_string(liveness_failures) + " stuck";
+  }
+  return out;
+}
+
+Verdict evaluate_algorithm(const fd::DetectorSpec& detector, AlgoKind algo,
+                           SpecKind spec,
+                           const std::vector<model::FailurePattern>& patterns,
+                           const EvalConfig& config) {
+  Verdict verdict;
+  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+    const model::FailurePattern& pattern = patterns[pi];
+    const ProcessId n = pattern.n();
+    for (int s = 0; s < config.schedule_seeds; ++s) {
+      const std::uint64_t run_seed =
+          mix_seed(config.base_seed, static_cast<std::uint64_t>(pi),
+                   static_cast<std::uint64_t>(s));
+      const auto oracle = detector.factory(pattern, mix_seed(run_seed, 1));
+
+      std::vector<std::unique_ptr<sim::Automaton>> automata;
+      automata.reserve(static_cast<std::size_t>(n));
+      for (ProcessId p = 0; p < n; ++p) {
+        automata.push_back(make_automaton(algo, n, p, config.trb_sender));
+      }
+      sim::SimConfig sim_config;
+      sim_config.limits = config.limits;
+      sim::Simulator simulator(
+          pattern, *oracle, std::move(automata),
+          std::make_unique<sim::RandomAdversary>(mix_seed(run_seed, 2)),
+          sim_config);
+      simulator.run_for(config.horizon);
+
+      const RunOutcome outcome =
+          judge(simulator.trace(), spec, n, config.trb_sender);
+      ++verdict.runs;
+      if (outcome.safety_ok && outcome.live) {
+        ++verdict.ok;
+      } else if (!outcome.safety_ok) {
+        ++verdict.safety_violations;
+        if (verdict.first_failure.empty()) {
+          verdict.first_failure = pattern.to_string() + ": " + outcome.detail;
+        }
+      } else {
+        ++verdict.liveness_failures;
+        if (verdict.first_failure.empty()) {
+          verdict.first_failure = pattern.to_string() + ": " + outcome.detail;
+        }
+      }
+    }
+  }
+  return verdict;
+}
+
+std::vector<model::FailurePattern> standard_patterns(ProcessId n,
+                                                     ProcessId max_crashes,
+                                                     std::uint64_t seed,
+                                                     Tick crash_horizon,
+                                                     int random_count) {
+  model::PatternSweep sweep(n, seed);
+  sweep.with_all_correct();
+  sweep.with_single_crashes({0, crash_horizon / 4, crash_horizon / 2});
+  if (max_crashes >= 2) {
+    sweep.with_cascades(std::min<ProcessId>(max_crashes, n - 1),
+                        crash_horizon / 8, crash_horizon / 16);
+  }
+  if (max_crashes >= n - 1) {
+    sweep.with_all_but_one(crash_horizon / 3);
+  }
+  sweep.with_random(random_count, 0, max_crashes, crash_horizon);
+  return sweep.patterns();
+}
+
+}  // namespace rfd::core

@@ -1,0 +1,82 @@
+// The solvability driver behind experiment E1 (the hierarchy-collapse
+// table) and the parameterized algorithm tests.
+//
+// "Class X solves problem B" is existential over algorithms, so the driver
+// evaluates concrete (algorithm, detector, problem) triples over pattern
+// and schedule sweeps, splitting failures into safety violations (the run
+// decided/delivered inconsistently - the algorithm+detector pair is
+// *wrong*) and liveness failures (no violation, but not everyone finished
+// within the horizon - the pair is *stuck*, e.g. the rotating coordinator
+// without a majority).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fd/registry.hpp"
+#include "model/environment.hpp"
+#include "sim/adversary.hpp"
+
+namespace rfd::core {
+
+enum class AlgoKind {
+  kCtStrong,    // S-based consensus: works with P under unbounded crashes
+  kCtRotating,  // <>S rotating coordinator: needs a majority
+  kMarabout,    // Section 6.1 leader rule: needs the Marabout
+  kCrChain,     // Section 6.2 chain: correct-restricted consensus from P<
+  kTrb,         // Section 5 TRB over embedded consensus: needs P
+};
+
+enum class SpecKind {
+  kUniformConsensus,
+  kCorrectRestrictedConsensus,
+  kTrb,
+};
+
+std::string algo_name(AlgoKind kind);
+std::string spec_name(SpecKind kind);
+
+struct EvalConfig {
+  Tick horizon = 6000;
+  int schedule_seeds = 3;
+  std::uint64_t base_seed = 0x5eed;
+  sim::AdversaryLimits limits{};
+  /// Sender of the TRB instance under test. Note: the smallest-id process
+  /// is the one process a (cheating) Strong detector never falsely
+  /// suspects, so TRB stress tests should pick a sender with a larger id.
+  ProcessId trb_sender = 0;
+};
+
+struct Verdict {
+  std::int64_t runs = 0;
+  std::int64_t ok = 0;
+  std::int64_t safety_violations = 0;
+  std::int64_t liveness_failures = 0;
+  std::string first_failure;
+
+  bool solved() const { return runs > 0 && ok == runs; }
+  /// Safe but not live: the signature of "blocks without a majority".
+  bool safe() const { return safety_violations == 0; }
+  std::string to_string() const;
+};
+
+/// Runs `algo` with `detector` on every (pattern x schedule seed) and
+/// checks `spec`.
+Verdict evaluate_algorithm(const fd::DetectorSpec& detector, AlgoKind algo,
+                           SpecKind spec,
+                           const std::vector<model::FailurePattern>& patterns,
+                           const EvalConfig& config);
+
+/// The default pattern family for solvability sweeps over n processes:
+/// all-correct, early/late single crashes, cascades, all-but-one-crash
+/// (the unbounded-failure stressor), and seeded random patterns.
+/// `max_crashes` caps crash counts (pass n-1 for the unbounded-crash
+/// environment, n/2-1 to model a majority assumption).
+std::vector<model::FailurePattern> standard_patterns(ProcessId n,
+                                                     ProcessId max_crashes,
+                                                     std::uint64_t seed,
+                                                     Tick crash_horizon,
+                                                     int random_count = 6);
+
+}  // namespace rfd::core

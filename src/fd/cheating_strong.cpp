@@ -1,0 +1,65 @@
+#include "fd/cheating_strong.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::fd {
+
+CheatingStrongOracle::CheatingStrongOracle(const model::FailurePattern& pattern,
+                                           std::uint64_t seed,
+                                           CheatingStrongParams params)
+    : ClairvoyantOracle(pattern, seed), params_(params) {
+  RFD_REQUIRE(params.churn_period > 0);
+  RFD_REQUIRE(params.min_detection_delay >= 0 &&
+              params.min_detection_delay <= params.max_detection_delay);
+}
+
+Tick CheatingStrongOracle::detection_delay(ProcessId observer,
+                                           ProcessId target) const {
+  const Tick span = params_.max_detection_delay - params_.min_detection_delay;
+  if (span == 0) return params_.min_detection_delay;
+  const auto jitter = static_cast<Tick>(
+      noise(static_cast<std::uint64_t>(observer),
+            static_cast<std::uint64_t>(target), /*c=*/0x5caffu) %
+      static_cast<std::uint64_t>(span + 1));
+  return params_.min_detection_delay + jitter;
+}
+
+bool CheatingStrongOracle::churn_suspects(ProcessId observer, ProcessId target,
+                                          Tick t) const {
+  const auto epoch = static_cast<std::uint64_t>(t / params_.churn_period);
+  const std::uint64_t h =
+      noise(static_cast<std::uint64_t>(observer) | 1u << 21,
+            static_cast<std::uint64_t>(target), epoch);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < params_.churn_prob;
+}
+
+FdValue CheatingStrongOracle::query_full(ProcessId observer, Tick t,
+                                         const model::FullView& full) const {
+  // Future knowledge: the immune process is the smallest-id process that
+  // will never crash in this pattern.
+  const ProcessId immune = full.correct().min();
+
+  FdValue out;
+  out.suspects = ProcessSet(n());
+  for (ProcessId q = 0; q < n(); ++q) {
+    const Tick crash = full.pattern().crash_tick(q);
+    if (crash != kNever && crash + detection_delay(observer, q) <= t) {
+      out.suspects.insert(q);
+      continue;
+    }
+    if (q == observer || q == immune) continue;
+    if (churn_suspects(observer, q, t)) {
+      out.suspects.insert(q);
+    }
+  }
+  return out;
+}
+
+OracleFactory make_cheating_strong_factory(CheatingStrongParams params) {
+  return [params](const model::FailurePattern& pattern, std::uint64_t seed) {
+    return std::make_unique<CheatingStrongOracle>(pattern, seed, params);
+  };
+}
+
+}  // namespace rfd::fd

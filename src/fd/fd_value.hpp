@@ -1,0 +1,39 @@
+// The value output by a failure detector module at one query (Section 2.2).
+//
+// All detectors in the paper output suspect lists (range 2^Omega); the
+// Scribe (Section 3.2.1) additionally outputs the whole past failure
+// pattern F[t], which we carry as an opaque payload so the range R stays
+// open-ended without templating every consumer.
+#pragma once
+
+#include <string>
+
+#include "common/process_set.hpp"
+#include "common/serialization.hpp"
+
+namespace rfd::fd {
+
+struct FdValue {
+  /// The suspect list H(p_i, t).
+  ProcessSet suspects;
+
+  /// Range extension beyond 2^Omega (empty for classic detectors). The
+  /// Scribe encodes F[t] here; consumers that only understand suspect
+  /// lists simply ignore it.
+  Bytes extra;
+
+  bool operator==(const FdValue& other) const {
+    return suspects == other.suspects && extra == other.extra;
+  }
+  bool operator!=(const FdValue& other) const { return !(*this == other); }
+
+  std::string to_string() const {
+    std::string out = suspects.to_string();
+    if (!extra.empty()) {
+      out += "+" + std::to_string(extra.size()) + "B";
+    }
+    return out;
+  }
+};
+
+}  // namespace rfd::fd

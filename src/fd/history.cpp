@@ -1,0 +1,59 @@
+#include "fd/history.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::fd {
+
+History::History(ProcessId n, Tick horizon) : n_(n), horizon_(horizon) {
+  RFD_REQUIRE(n > 0 && horizon > 0);
+  cells_.resize(static_cast<std::size_t>(n));
+  for (auto& row : cells_) {
+    row.resize(static_cast<std::size_t>(horizon));
+  }
+}
+
+void History::record(ProcessId p, Tick t, FdValue v) {
+  RFD_REQUIRE(p >= 0 && p < n_ && t >= 0 && t < horizon_);
+  cells_[static_cast<std::size_t>(p)][static_cast<std::size_t>(t)] =
+      std::move(v);
+}
+
+const FdValue& History::at(ProcessId p, Tick t) const {
+  RFD_REQUIRE(p >= 0 && p < n_ && t >= 0 && t < horizon_);
+  return cells_[static_cast<std::size_t>(p)][static_cast<std::size_t>(t)];
+}
+
+Tick History::stable_suspicion_from(ProcessId p, ProcessId q) const {
+  Tick from = kNever;
+  for (Tick t = horizon_ - 1; t >= 0; --t) {
+    if (suspects(p, q, t)) {
+      from = t;
+    } else {
+      break;
+    }
+  }
+  return from;
+}
+
+bool History::prefix_equal(const History& other, Tick t) const {
+  if (n_ != other.n_) return false;
+  RFD_REQUIRE(t < horizon_ && t < other.horizon_);
+  for (ProcessId p = 0; p < n_; ++p) {
+    for (Tick s = 0; s <= t; ++s) {
+      if (at(p, s) != other.at(p, s)) return false;
+    }
+  }
+  return true;
+}
+
+History sample_history(const Oracle& oracle, Tick horizon) {
+  History h(oracle.n(), horizon);
+  for (ProcessId p = 0; p < oracle.n(); ++p) {
+    for (Tick t = 0; t < horizon; ++t) {
+      h.record(p, t, oracle.query(p, t));
+    }
+  }
+  return h;
+}
+
+}  // namespace rfd::fd

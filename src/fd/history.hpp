@@ -1,0 +1,47 @@
+// Recorded failure detector histories H: Omega x Phi -> R (Section 2.2).
+//
+// Property checking (completeness/accuracy axioms, realism) needs the whole
+// history on a bounded window, so we sample oracles densely over
+// [0, horizon) and analyse the resulting table.
+#pragma once
+
+#include <vector>
+
+#include "fd/fd_value.hpp"
+#include "fd/oracle.hpp"
+
+namespace rfd::fd {
+
+class History {
+ public:
+  History(ProcessId n, Tick horizon);
+
+  ProcessId n() const { return n_; }
+  Tick horizon() const { return horizon_; }
+
+  void record(ProcessId p, Tick t, FdValue v);
+  const FdValue& at(ProcessId p, Tick t) const;
+
+  /// Whether p suspects q at tick t.
+  bool suspects(ProcessId p, ProcessId q, Tick t) const {
+    return at(p, t).suspects.contains(q);
+  }
+
+  /// First tick from which `p` suspects `q` continuously through the end of
+  /// the window, or kNever if the suspicion is not stable by the horizon.
+  Tick stable_suspicion_from(ProcessId p, ProcessId q) const;
+
+  /// True when the two histories agree at every process for every tick <= t
+  /// (the comparison used by the realism definition, Section 3.1).
+  bool prefix_equal(const History& other, Tick t) const;
+
+ private:
+  ProcessId n_;
+  Tick horizon_;
+  std::vector<std::vector<FdValue>> cells_;  // [process][tick]
+};
+
+/// Samples H(p, t) for all p and all t in [0, horizon).
+History sample_history(const Oracle& oracle, Tick horizon);
+
+}  // namespace rfd::fd

@@ -1,0 +1,22 @@
+#include "fd/marabout.hpp"
+
+namespace rfd::fd {
+
+MaraboutOracle::MaraboutOracle(const model::FailurePattern& pattern,
+                               std::uint64_t seed)
+    : ClairvoyantOracle(pattern, seed) {}
+
+FdValue MaraboutOracle::query_full(ProcessId /*observer*/, Tick /*t*/,
+                                   const model::FullView& full) const {
+  FdValue out;
+  out.suspects = full.faulty();
+  return out;
+}
+
+OracleFactory make_marabout_factory() {
+  return [](const model::FailurePattern& pattern, std::uint64_t seed) {
+    return std::make_unique<MaraboutOracle>(pattern, seed);
+  };
+}
+
+}  // namespace rfd::fd

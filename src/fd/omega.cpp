@@ -1,0 +1,58 @@
+#include "fd/omega.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::fd {
+
+OmegaOracle::OmegaOracle(const model::FailurePattern& pattern,
+                         std::uint64_t seed, OmegaParams params)
+    : RealisticOracle(pattern, seed), params_(params) {
+  RFD_REQUIRE(params.convergence_tick >= 0);
+  RFD_REQUIRE(params.churn_period > 0);
+}
+
+FdValue OmegaOracle::query_past(ProcessId observer, Tick t,
+                                const model::PastView& past) const {
+  const ProcessSet alive = past.crashed_by(t).complement();
+  ProcessId chosen = -1;
+  if (!alive.empty()) {
+    if (t < params_.convergence_tick) {
+      // Pre-convergence: a noisy (but past-only) guess among the living.
+      const auto members = alive.members();
+      const auto epoch = static_cast<std::uint64_t>(t / params_.churn_period);
+      const auto idx = noise(static_cast<std::uint64_t>(observer), epoch,
+                             0x03e6a) %
+                       members.size();
+      chosen = members[idx];
+    } else {
+      // Converged: the smallest process not crashed yet; stabilizes to the
+      // smallest correct process.
+      chosen = alive.min();
+    }
+  }
+
+  FdValue out;
+  out.suspects = ProcessSet::full(n());
+  if (chosen >= 0) out.suspects.erase(chosen);
+  Writer w;
+  w.process(chosen);
+  out.extra = std::move(w).take();
+  return out;
+}
+
+ProcessId OmegaOracle::leader(ProcessId observer, Tick t) const {
+  return decode_leader(query(observer, t));
+}
+
+ProcessId OmegaOracle::decode_leader(const FdValue& value) {
+  Reader r(value.extra);
+  return r.process();
+}
+
+OracleFactory make_omega_factory(OmegaParams params) {
+  return [params](const model::FailurePattern& pattern, std::uint64_t seed) {
+    return std::make_unique<OmegaOracle>(pattern, seed, params);
+  };
+}
+
+}  // namespace rfd::fd

@@ -1,0 +1,52 @@
+// The leader oracle Omega, embedded as a suspect-list detector.
+//
+// Omega eventually makes every correct process trust the same correct
+// process. It is the weakest detector for consensus with a correct
+// majority and is equivalent to <>S under the classic embedding used
+// here: the module output suspects EVERYONE except the current leader
+// (so weak completeness is immediate and eventual weak accuracy is the
+// leader's stability). The trusted leader also rides in FdValue::extra
+// for algorithms that want Omega's native interface.
+//
+// Realistic by construction: the pre-convergence leader guess is noise
+// over the processes not crashed *yet*; the converged leader is the
+// smallest process not crashed yet, which stabilizes to the smallest
+// correct process once crashes stop. This is an extension beyond the
+// paper's zoo (Section 1.2 background), useful for contrasting the
+// majority-world against the unbounded-crash world the paper collapses.
+#pragma once
+
+#include "fd/oracle.hpp"
+
+namespace rfd::fd {
+
+struct OmegaParams {
+  Tick convergence_tick = 60;
+  Tick churn_period = 5;
+};
+
+class OmegaOracle final : public RealisticOracle {
+ public:
+  OmegaOracle(const model::FailurePattern& pattern, std::uint64_t seed,
+              OmegaParams params = {});
+
+  std::string name() const override { return "Omega"; }
+
+  /// The leader trusted by `observer` at `t` (-1 when every process has
+  /// crashed).
+  ProcessId leader(ProcessId observer, Tick t) const;
+
+  /// Decodes the trusted leader from an Omega output.
+  static ProcessId decode_leader(const FdValue& value);
+
+ protected:
+  FdValue query_past(ProcessId observer, Tick t,
+                     const model::PastView& past) const override;
+
+ private:
+  OmegaParams params_;
+};
+
+OracleFactory make_omega_factory(OmegaParams params = {});
+
+}  // namespace rfd::fd

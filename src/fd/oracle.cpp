@@ -1,0 +1,6 @@
+#include "fd/oracle.hpp"
+
+// The oracle hierarchy is header-only today; this translation unit anchors
+// the vtables so the library has a home for them.
+
+namespace rfd::fd {}  // namespace rfd::fd

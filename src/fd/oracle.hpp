@@ -1,0 +1,92 @@
+// Failure detector oracles.
+//
+// A failure detector D maps each failure pattern F to a set of histories
+// D(F) (Section 2.2). An Oracle is one sampled history: constructed from a
+// pattern and a seed, it answers H(p, t) queries. Oracles are pure
+// functions of (observer, tick, seed, pattern) so the same object can be
+// queried in any order and always describes one well-defined history.
+//
+// Realism (Section 3.1) is enforced structurally: subclasses of
+// RealisticOracle only ever see the pattern through a PastView clipped at
+// the query tick, so they *cannot* read the future. Subclasses of
+// ClairvoyantOracle receive the FullView and are thereby declared
+// non-realistic (the Marabout of Section 3.2.2 lives there).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "fd/fd_value.hpp"
+#include "model/failure_pattern.hpp"
+
+namespace rfd::fd {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// H(observer, t): the detector module output of `observer` at tick t.
+  virtual FdValue query(ProcessId observer, Tick t) const = 0;
+
+  /// Whether the construction guarantees the realism property of §3.1.
+  virtual bool realistic_by_construction() const = 0;
+
+  /// Human-readable detector name (e.g. "P", "S*", "<>S", "Marabout").
+  virtual std::string name() const = 0;
+
+  ProcessId n() const { return pattern_->n(); }
+  const model::FailurePattern& pattern() const { return *pattern_; }
+  std::uint64_t seed() const { return seed_; }
+
+ protected:
+  Oracle(const model::FailurePattern& pattern, std::uint64_t seed)
+      : pattern_(&pattern), seed_(seed) {}
+
+  /// Stateless pseudo-random suspicion noise: a pure hash of the oracle
+  /// seed and the query coordinates, so histories are well-defined.
+  std::uint64_t noise(std::uint64_t a, std::uint64_t b, std::uint64_t c) const {
+    return mix_seed(mix_seed(seed_, a), mix_seed(b, c));
+  }
+
+ private:
+  const model::FailurePattern* pattern_;
+  std::uint64_t seed_;
+};
+
+/// Base for oracles that cannot guess the future: the pattern is only ever
+/// exposed through PastView(pattern, t) during a query at tick t.
+class RealisticOracle : public Oracle {
+ public:
+  FdValue query(ProcessId observer, Tick t) const final {
+    return query_past(observer, t, model::PastView(pattern(), t));
+  }
+  bool realistic_by_construction() const final { return true; }
+
+ protected:
+  using Oracle::Oracle;
+  virtual FdValue query_past(ProcessId observer, Tick t,
+                             const model::PastView& past) const = 0;
+};
+
+/// Base for oracles that may consult the future (non-realistic).
+class ClairvoyantOracle : public Oracle {
+ public:
+  FdValue query(ProcessId observer, Tick t) const final {
+    return query_full(observer, t, model::FullView(pattern()));
+  }
+  bool realistic_by_construction() const final { return false; }
+
+ protected:
+  using Oracle::Oracle;
+  virtual FdValue query_full(ProcessId observer, Tick t,
+                             const model::FullView& full) const = 0;
+};
+
+/// Builds one sampled history of a detector for a given pattern and seed.
+using OracleFactory = std::function<std::unique_ptr<Oracle>(
+    const model::FailurePattern& pattern, std::uint64_t seed)>;
+
+}  // namespace rfd::fd

@@ -1,0 +1,47 @@
+#include "fd/partially_perfect.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::fd {
+
+PartiallyPerfectOracle::PartiallyPerfectOracle(
+    const model::FailurePattern& pattern, std::uint64_t seed,
+    PartiallyPerfectParams params)
+    : RealisticOracle(pattern, seed), params_(params) {
+  RFD_REQUIRE(params.min_detection_delay >= 0 &&
+              params.min_detection_delay <= params.max_detection_delay);
+}
+
+Tick PartiallyPerfectOracle::detection_delay(ProcessId observer,
+                                             ProcessId target) const {
+  const Tick span = params_.max_detection_delay - params_.min_detection_delay;
+  if (span == 0) return params_.min_detection_delay;
+  const auto jitter = static_cast<Tick>(
+      noise(static_cast<std::uint64_t>(observer),
+            static_cast<std::uint64_t>(target), /*c=*/0x91eu) %
+      static_cast<std::uint64_t>(span + 1));
+  return params_.min_detection_delay + jitter;
+}
+
+FdValue PartiallyPerfectOracle::query_past(ProcessId observer, Tick t,
+                                           const model::PastView& past) const {
+  FdValue out;
+  out.suspects = ProcessSet(n());
+  // Only processes with a *smaller* id are ever suspected: p_j gets
+  // completeness information about p_i exactly when j > i.
+  for (ProcessId q = 0; q < observer; ++q) {
+    const Tick crash = past.crash_tick_if_past(q);
+    if (crash != kNever && crash + detection_delay(observer, q) <= t) {
+      out.suspects.insert(q);
+    }
+  }
+  return out;
+}
+
+OracleFactory make_partially_perfect_factory(PartiallyPerfectParams params) {
+  return [params](const model::FailurePattern& pattern, std::uint64_t seed) {
+    return std::make_unique<PartiallyPerfectOracle>(pattern, seed, params);
+  };
+}
+
+}  // namespace rfd::fd

@@ -1,0 +1,44 @@
+#include "fd/perfect.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::fd {
+
+PerfectOracle::PerfectOracle(const model::FailurePattern& pattern,
+                             std::uint64_t seed, PerfectParams params)
+    : RealisticOracle(pattern, seed), params_(params) {
+  RFD_REQUIRE(params.min_detection_delay >= 0 &&
+              params.min_detection_delay <= params.max_detection_delay);
+}
+
+Tick PerfectOracle::detection_delay(ProcessId observer,
+                                    ProcessId target) const {
+  const Tick span = params_.max_detection_delay - params_.min_detection_delay;
+  if (span == 0) return params_.min_detection_delay;
+  const auto jitter = static_cast<Tick>(
+      noise(static_cast<std::uint64_t>(observer),
+            static_cast<std::uint64_t>(target), /*c=*/0x9e1ec7) %
+      static_cast<std::uint64_t>(span + 1));
+  return params_.min_detection_delay + jitter;
+}
+
+FdValue PerfectOracle::query_past(ProcessId observer, Tick t,
+                                  const model::PastView& past) const {
+  FdValue out;
+  out.suspects = ProcessSet(n());
+  for (ProcessId q = 0; q < n(); ++q) {
+    const Tick crash = past.crash_tick_if_past(q);
+    if (crash != kNever && crash + detection_delay(observer, q) <= t) {
+      out.suspects.insert(q);
+    }
+  }
+  return out;
+}
+
+OracleFactory make_perfect_factory(PerfectParams params) {
+  return [params](const model::FailurePattern& pattern, std::uint64_t seed) {
+    return std::make_unique<PerfectOracle>(pattern, seed, params);
+  };
+}
+
+}  // namespace rfd::fd

@@ -1,0 +1,183 @@
+#include "fd/properties.hpp"
+
+namespace rfd::fd {
+namespace {
+
+std::string pid(ProcessId p) { return "p" + std::to_string(p); }
+
+/// True when observer suspects target continuously from some tick
+/// <= horizon-1 through the end of the window.
+bool permanently_suspects(const History& h, ProcessId observer,
+                          ProcessId target) {
+  return h.stable_suspicion_from(observer, target) != kNever;
+}
+
+}  // namespace
+
+CheckResult strong_completeness(const model::FailurePattern& f,
+                                const History& h) {
+  const ProcessSet crashed = f.faulty();
+  const ProcessSet correct = f.correct();
+  CheckResult out = CheckResult::pass();
+  crashed.for_each([&](ProcessId dead) {
+    correct.for_each([&](ProcessId obs) {
+      if (!out.ok) return;
+      if (!permanently_suspects(h, obs, dead)) {
+        out = CheckResult::fail("crashed " + pid(dead) +
+                                " not permanently suspected by correct " +
+                                pid(obs));
+      }
+    });
+  });
+  return out;
+}
+
+CheckResult weak_completeness(const model::FailurePattern& f,
+                              const History& h) {
+  const ProcessSet crashed = f.faulty();
+  const ProcessSet correct = f.correct();
+  CheckResult out = CheckResult::pass();
+  crashed.for_each([&](ProcessId dead) {
+    if (!out.ok) return;
+    bool anyone = false;
+    correct.for_each([&](ProcessId obs) {
+      anyone = anyone || permanently_suspects(h, obs, dead);
+    });
+    if (!anyone && correct.count() > 0) {
+      out = CheckResult::fail("crashed " + pid(dead) +
+                              " not permanently suspected by any correct "
+                              "process");
+    }
+  });
+  return out;
+}
+
+CheckResult partial_completeness(const model::FailurePattern& f,
+                                 const History& h) {
+  const ProcessSet crashed = f.faulty();
+  const ProcessSet correct = f.correct();
+  CheckResult out = CheckResult::pass();
+  crashed.for_each([&](ProcessId dead) {
+    correct.for_each([&](ProcessId obs) {
+      if (!out.ok || obs <= dead) return;
+      if (!permanently_suspects(h, obs, dead)) {
+        out = CheckResult::fail("crashed " + pid(dead) +
+                                " not permanently suspected by correct " +
+                                pid(obs) + " (which has a larger id)");
+      }
+    });
+  });
+  return out;
+}
+
+CheckResult strong_accuracy(const model::FailurePattern& f, const History& h) {
+  for (Tick t = 0; t < h.horizon(); ++t) {
+    const ProcessSet alive = f.alive_at(t);
+    for (ProcessId obs = 0; obs < h.n(); ++obs) {
+      const ProcessSet& suspects = h.at(obs, t).suspects;
+      if (suspects.intersects(alive)) {
+        const ProcessId victim = (suspects & alive).min();
+        return CheckResult::fail(pid(obs) + " suspects alive " + pid(victim) +
+                                 " at t=" + std::to_string(t));
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult weak_accuracy(const model::FailurePattern& f, const History& h) {
+  const ProcessSet correct = f.correct();
+  if (correct.empty()) return CheckResult::pass();  // vacuous
+  bool found = false;
+  correct.for_each([&](ProcessId candidate) {
+    if (found) return;
+    bool ever_suspected = false;
+    for (Tick t = 0; t < h.horizon() && !ever_suspected; ++t) {
+      for (ProcessId obs = 0; obs < h.n(); ++obs) {
+        if (h.suspects(obs, candidate, t)) {
+          ever_suspected = true;
+          break;
+        }
+      }
+    }
+    found = found || !ever_suspected;
+  });
+  return found ? CheckResult::pass()
+               : CheckResult::fail(
+                     "every correct process is suspected at some point");
+}
+
+CheckResult eventual_strong_accuracy(const model::FailurePattern& f,
+                                     const History& h, Tick min_suffix) {
+  // Find the last tick at which an alive process is suspected; the property
+  // holds when a clean suffix of at least min_suffix ticks remains.
+  Tick last_violation = -1;
+  for (Tick t = 0; t < h.horizon(); ++t) {
+    const ProcessSet alive = f.alive_at(t);
+    for (ProcessId obs = 0; obs < h.n(); ++obs) {
+      if (h.at(obs, t).suspects.intersects(alive)) {
+        last_violation = t;
+      }
+    }
+  }
+  if (last_violation + 1 + min_suffix <= h.horizon()) {
+    return CheckResult::pass();
+  }
+  return CheckResult::fail("alive process still suspected at t=" +
+                           std::to_string(last_violation) +
+                           " (insufficient clean suffix)");
+}
+
+CheckResult eventual_weak_accuracy(const model::FailurePattern& f,
+                                   const History& h, Tick min_suffix) {
+  const ProcessSet correct = f.correct();
+  if (correct.empty()) return CheckResult::pass();  // vacuous
+  bool found = false;
+  correct.for_each([&](ProcessId candidate) {
+    if (found) return;
+    Tick last_suspected = -1;
+    for (Tick t = 0; t < h.horizon(); ++t) {
+      for (ProcessId obs = 0; obs < h.n(); ++obs) {
+        if (h.suspects(obs, candidate, t)) last_suspected = t;
+      }
+    }
+    found = found || (last_suspected + 1 + min_suffix <= h.horizon());
+  });
+  return found ? CheckResult::pass()
+               : CheckResult::fail(
+                     "no correct process has a clean suspicion-free suffix");
+}
+
+std::string Classification::to_string() const {
+  std::string out;
+  auto add = [&out](bool flag, const char* name) {
+    if (!flag) return;
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  add(perfect, "P");
+  add(strong, "S");
+  add(eventually_perfect, "<>P");
+  add(eventually_strong, "<>S");
+  add(partially_perfect, "P<");
+  return out.empty() ? "-" : out;
+}
+
+Classification classify(const model::FailurePattern& f, const History& h,
+                        Tick min_suffix) {
+  Classification c;
+  const bool sc = strong_completeness(f, h).ok;
+  const bool pc = partial_completeness(f, h).ok;
+  const bool sa = strong_accuracy(f, h).ok;
+  const bool wa = weak_accuracy(f, h).ok;
+  const bool esa = eventual_strong_accuracy(f, h, min_suffix).ok;
+  const bool ewa = eventual_weak_accuracy(f, h, min_suffix).ok;
+  c.perfect = sc && sa;
+  c.strong = sc && wa;
+  c.eventually_perfect = sc && esa;
+  c.eventually_strong = sc && ewa;
+  c.partially_perfect = pc && sa;
+  return c;
+}
+
+}  // namespace rfd::fd

@@ -1,0 +1,76 @@
+// Checkers for the completeness / accuracy axioms defining the
+// Chandra-Toueg failure detector classes, evaluated on a sampled history
+// over a bounded window.
+//
+// Eventual ("there is a time after which ...") properties are checked as
+// suffix stability: the property must hold continuously from some tick
+// t* <= horizon - min_suffix through the end of the window. The suffix
+// floor guards against a noisy detector looking converged merely because
+// the window ended; callers pick it from the detector's churn parameters.
+#pragma once
+
+#include <string>
+
+#include "fd/history.hpp"
+#include "model/failure_pattern.hpp"
+
+namespace rfd::fd {
+
+struct CheckResult {
+  bool ok = true;
+  std::string detail;  // human-readable witness when ok == false
+
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const { return ok; }
+};
+
+/// Every crashed process is eventually permanently suspected by every
+/// correct process (within the window).
+CheckResult strong_completeness(const model::FailurePattern& f,
+                                const History& h);
+
+/// Every crashed process is eventually permanently suspected by SOME
+/// correct process.
+CheckResult weak_completeness(const model::FailurePattern& f,
+                              const History& h);
+
+/// P< completeness: a crashed p_i is eventually permanently suspected by
+/// every correct p_j with j > i (Section 6.2).
+CheckResult partial_completeness(const model::FailurePattern& f,
+                                 const History& h);
+
+/// No process is suspected before it crashes: for all q, t the suspect set
+/// contains no process alive at t.
+CheckResult strong_accuracy(const model::FailurePattern& f, const History& h);
+
+/// Some correct process is never suspected by anyone. Vacuously true when
+/// the pattern has no correct process (class definitions assume at least
+/// one).
+CheckResult weak_accuracy(const model::FailurePattern& f, const History& h);
+
+/// There is a tick t* <= horizon - min_suffix from which no alive process
+/// is ever suspected.
+CheckResult eventual_strong_accuracy(const model::FailurePattern& f,
+                                     const History& h, Tick min_suffix);
+
+/// There is a tick t* <= horizon - min_suffix and a correct process never
+/// suspected from t* on.
+CheckResult eventual_weak_accuracy(const model::FailurePattern& f,
+                                   const History& h, Tick min_suffix);
+
+/// Which classes' axioms the sampled history satisfies on this window.
+struct Classification {
+  bool perfect = false;            // P : strong completeness + strong accuracy
+  bool strong = false;             // S : strong completeness + weak accuracy
+  bool eventually_perfect = false; // <>P
+  bool eventually_strong = false;  // <>S
+  bool partially_perfect = false;  // P< : partial completeness + strong acc.
+
+  std::string to_string() const;
+};
+
+Classification classify(const model::FailurePattern& f, const History& h,
+                        Tick min_suffix);
+
+}  // namespace rfd::fd

@@ -1,0 +1,86 @@
+#include "fd/realism.hpp"
+
+#include "common/rng.hpp"
+#include "model/environment.hpp"
+
+namespace rfd::fd {
+
+RealismReport check_realism_pair(const OracleFactory& factory,
+                                 const model::FailurePattern& f1,
+                                 const model::FailurePattern& f2,
+                                 Tick agree_until,
+                                 const std::vector<std::uint64_t>& seeds) {
+  RFD_REQUIRE(f1.agrees_up_to(f2, agree_until));
+  const Tick horizon = agree_until + 1;
+
+  // Pre-sample all D(F2) histories once.
+  std::vector<History> d_of_f2;
+  d_of_f2.reserve(seeds.size());
+  for (auto s : seeds) {
+    d_of_f2.push_back(sample_history(*factory(f2, s), horizon));
+  }
+
+  for (auto s : seeds) {
+    const History h1 = sample_history(*factory(f1, s), horizon);
+    bool matched = false;
+    for (const auto& h2 : d_of_f2) {
+      if (h1.prefix_equal(h2, agree_until)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      RealismReport report;
+      report.realistic = false;
+      report.counterexample =
+          "history of D(" + f1.to_string() + ") with seed " +
+          std::to_string(s) + " has no matching prefix in D(" +
+          f2.to_string() + ") up to t=" + std::to_string(agree_until);
+      return report;
+    }
+  }
+  return {};
+}
+
+RealismReport check_realism_suite(const OracleFactory& factory, ProcessId n,
+                                  const std::vector<std::uint64_t>& seeds,
+                                  std::uint64_t pattern_seed,
+                                  int random_pairs) {
+  // The paper's own counterexample pair (Section 3.2.2).
+  {
+    const auto f1 = model::single_crash(n, /*p=*/0, /*t=*/10);
+    const auto f2 = model::all_correct(n);
+    const auto report = check_realism_pair(factory, f1, f2, /*agree_until=*/9,
+                                           seeds);
+    if (!report.realistic) return report;
+  }
+
+  // Random pairs: a shared prefix of crashes, then divergent futures.
+  Rng rng(pattern_seed);
+  for (int i = 0; i < random_pairs; ++i) {
+    const Tick agree_until = rng.range(5, 40);
+    Rng pattern_rng = rng.split(static_cast<std::uint64_t>(i));
+    auto shared = model::random_crashes(
+        n, static_cast<ProcessId>(rng.range(0, n / 2)), agree_until + 1,
+        pattern_rng);
+    model::FailurePattern f1 = shared;
+    model::FailurePattern f2 = shared;
+    // Diverge strictly after the agreement point.
+    const auto future1 = static_cast<ProcessId>(rng.below(n));
+    const auto future2 = static_cast<ProcessId>(rng.below(n));
+    if (f1.crash_tick(future1) > agree_until + 1) {
+      f1.crash_at(future1, agree_until + 1 + rng.range(1, 20));
+    }
+    if (f2.crash_tick(future2) > agree_until + 1 &&
+        f2.crash_tick(future2) == kNever) {
+      f2.crash_at(future2, agree_until + 1 + rng.range(21, 40));
+    }
+    if (!f1.agrees_up_to(f2, agree_until)) continue;
+    const auto report =
+        check_realism_pair(factory, f1, f2, agree_until, seeds);
+    if (!report.realistic) return report;
+  }
+  return {};
+}
+
+}  // namespace rfd::fd

@@ -1,0 +1,49 @@
+// The realism property of Section 3.1, as an executable check.
+//
+// D is realistic iff for every pair of failure patterns (F, F') that agree
+// up to time t, every history H in D(F) has a counterpart H' in D(F') with
+// H(p, t1) = H'(p, t1) for all p and all t1 <= t: the detector cannot
+// distinguish two patterns by what happens after t.
+//
+// The check is necessarily existential over D(F'): we sample D(F') over a
+// set of seeds and search for a matching prefix. For the library's
+// realistic oracles the *same* seed reproduces the prefix (they are pure
+// functions of the pattern prefix and the seed), so the check is exact.
+// For clairvoyant oracles no seed can match once the patterns' futures
+// diverge - which is precisely the paper's Marabout argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fd/history.hpp"
+#include "fd/oracle.hpp"
+#include "model/failure_pattern.hpp"
+
+namespace rfd::fd {
+
+struct RealismReport {
+  bool realistic = true;
+  /// When !realistic: which pattern pair / seed exhibited the violation.
+  std::string counterexample;
+};
+
+/// Checks the realism property for one pattern pair that agrees up to
+/// `agree_until`, sampling D(F1) with each seed and searching all seeds of
+/// D(F2) for a matching prefix.
+RealismReport check_realism_pair(const OracleFactory& factory,
+                                 const model::FailurePattern& f1,
+                                 const model::FailurePattern& f2,
+                                 Tick agree_until,
+                                 const std::vector<std::uint64_t>& seeds);
+
+/// Runs the paper's Marabout scenario (Section 3.2.2: F1 = "p0 crashes at
+/// 10", F2 = all correct, compared up to t = 9) plus a family of random
+/// divergent-future pairs over n processes.
+RealismReport check_realism_suite(const OracleFactory& factory, ProcessId n,
+                                  const std::vector<std::uint64_t>& seeds,
+                                  std::uint64_t pattern_seed = 0x0fd0,
+                                  int random_pairs = 16);
+
+}  // namespace rfd::fd

@@ -1,0 +1,49 @@
+#include "fd/registry.hpp"
+
+#include "common/assert.hpp"
+#include "fd/cheating_strong.hpp"
+#include "fd/eventually_perfect.hpp"
+#include "fd/eventually_strong.hpp"
+#include "fd/marabout.hpp"
+#include "fd/omega.hpp"
+#include "fd/partially_perfect.hpp"
+#include "fd/perfect.hpp"
+#include "fd/scribe.hpp"
+
+namespace rfd::fd {
+
+const std::vector<DetectorSpec>& standard_detectors() {
+  static const std::vector<DetectorSpec> specs = [] {
+    std::vector<DetectorSpec> out;
+    out.push_back({"P", make_perfect_factory(), true,
+                   "Perfect: strong completeness + strong accuracy"});
+    out.push_back({"Scribe", make_scribe_factory(), true,
+                   "Outputs the whole past pattern F[t]; member of P"});
+    out.push_back({"<>P", make_eventually_perfect_factory(), true,
+                   "Eventually Perfect: churns before convergence"});
+    out.push_back({"<>S", make_eventually_strong_factory(), true,
+                   "Eventually Strong: only one immune process after "
+                   "convergence"});
+    out.push_back({"P<", make_partially_perfect_factory(), true,
+                   "Partially Perfect: completeness only toward larger ids"});
+    out.push_back({"Omega", make_omega_factory(), true,
+                   "Leader oracle embedded as suspect-all-but-leader; "
+                   "equivalent to <>S"});
+    out.push_back({"Marabout", make_marabout_factory(), false,
+                   "Constantly outputs the faulty set of the whole run"});
+    out.push_back({"S(cheat)", make_cheating_strong_factory(), false,
+                   "Strong but not Perfect; immune process chosen from the "
+                   "future"});
+    return out;
+  }();
+  return specs;
+}
+
+const DetectorSpec& find_detector(const std::string& name) {
+  for (const auto& spec : standard_detectors()) {
+    if (spec.name == name) return spec;
+  }
+  RFD_UNREACHABLE(("unknown detector: " + name).c_str());
+}
+
+}  // namespace rfd::fd

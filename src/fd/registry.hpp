@@ -1,0 +1,26 @@
+// Name -> factory registry for the detector zoo, used by benches, examples
+// and parameterized tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fd/oracle.hpp"
+
+namespace rfd::fd {
+
+struct DetectorSpec {
+  std::string name;        // registry key, e.g. "P", "<>S", "Marabout"
+  OracleFactory factory;   // with the library's default parameters
+  bool realistic;          // realistic by construction?
+  std::string description;
+};
+
+/// The standard detector zoo: P, Scribe, <>P, <>S, P<, Marabout, S(cheat).
+const std::vector<DetectorSpec>& standard_detectors();
+
+/// Lookup by name; aborts on unknown names (registry keys are code, not
+/// user input).
+const DetectorSpec& find_detector(const std::string& name);
+
+}  // namespace rfd::fd

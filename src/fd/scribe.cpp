@@ -1,0 +1,41 @@
+#include "fd/scribe.hpp"
+
+namespace rfd::fd {
+
+ScribeOracle::ScribeOracle(const model::FailurePattern& pattern,
+                           std::uint64_t seed)
+    : RealisticOracle(pattern, seed) {}
+
+FdValue ScribeOracle::query_past(ProcessId /*observer*/, Tick t,
+                                 const model::PastView& past) const {
+  FdValue out;
+  out.suspects = past.crashed_by(t);
+  Writer w;
+  w.varint(n());
+  for (ProcessId q = 0; q < n(); ++q) {
+    const Tick crash = past.crash_tick_if_past(q);
+    w.varint(crash == kNever ? -1 : crash);
+  }
+  out.extra = std::move(w).take();
+  return out;
+}
+
+std::vector<Tick> ScribeOracle::decode_past(const FdValue& value) {
+  Reader r(value.extra);
+  const auto n = r.varint();
+  std::vector<Tick> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tick t = r.varint();
+    out.push_back(t < 0 ? kNever : t);
+  }
+  return out;
+}
+
+OracleFactory make_scribe_factory() {
+  return [](const model::FailurePattern& pattern, std::uint64_t seed) {
+    return std::make_unique<ScribeOracle>(pattern, seed);
+  };
+}
+
+}  // namespace rfd::fd

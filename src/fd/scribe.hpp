@@ -1,0 +1,29 @@
+// The Scribe C (Section 3.2.1): sees what happens at all processes in real
+// time and takes notes. At tick t it outputs F[t], the entire failure
+// pattern up to time t. The suspect-list projection is F(t) itself, so the
+// Scribe is a zero-delay member of P; the full past is carried in the
+// FdValue::extra payload (ticks of every crash that already happened).
+#pragma once
+
+#include "fd/oracle.hpp"
+
+namespace rfd::fd {
+
+class ScribeOracle final : public RealisticOracle {
+ public:
+  ScribeOracle(const model::FailurePattern& pattern, std::uint64_t seed);
+
+  std::string name() const override { return "Scribe"; }
+
+  /// Decodes the F[t] payload of a Scribe output back into per-process
+  /// crash ticks (kNever when not crashed by the query tick).
+  static std::vector<Tick> decode_past(const FdValue& value);
+
+ protected:
+  FdValue query_past(ProcessId observer, Tick t,
+                     const model::PastView& past) const override;
+};
+
+OracleFactory make_scribe_factory();
+
+}  // namespace rfd::fd

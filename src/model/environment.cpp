@@ -1,0 +1,98 @@
+#include "model/environment.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rfd::model {
+
+FailurePattern all_correct(ProcessId n) { return FailurePattern(n); }
+
+FailurePattern single_crash(ProcessId n, ProcessId p, Tick t) {
+  FailurePattern f(n);
+  f.crash_at(p, t);
+  return f;
+}
+
+FailurePattern all_but_one_crash(ProcessId n, ProcessId survivor, Tick t) {
+  RFD_REQUIRE(survivor >= 0 && survivor < n);
+  FailurePattern f(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p != survivor) f.crash_at(p, t);
+  }
+  return f;
+}
+
+FailurePattern cascade(ProcessId n, ProcessId k, Tick start, Tick gap) {
+  RFD_REQUIRE(k >= 0 && k <= n);
+  RFD_REQUIRE(start >= 0 && gap >= 0);
+  FailurePattern f(n);
+  for (ProcessId p = 0; p < k; ++p) {
+    f.crash_at(p, start + gap * p);
+  }
+  return f;
+}
+
+FailurePattern random_crashes(ProcessId n, ProcessId k, Tick horizon,
+                              Rng& rng) {
+  RFD_REQUIRE(k >= 0 && k <= n);
+  RFD_REQUIRE(horizon > 0);
+  std::vector<ProcessId> ids(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) ids[static_cast<std::size_t>(p)] = p;
+  rng.shuffle(ids.data(), n);
+  FailurePattern f(n);
+  for (ProcessId i = 0; i < k; ++i) {
+    f.crash_at(ids[static_cast<std::size_t>(i)], rng.below(horizon));
+  }
+  return f;
+}
+
+PatternSweep::PatternSweep(ProcessId n, std::uint64_t seed)
+    : n_(n), rng_(seed) {}
+
+PatternSweep& PatternSweep::add(FailurePattern pattern) {
+  RFD_REQUIRE(pattern.n() == n_);
+  patterns_.push_back(std::move(pattern));
+  return *this;
+}
+
+PatternSweep& PatternSweep::with_all_correct() {
+  return add(all_correct(n_));
+}
+
+PatternSweep& PatternSweep::with_single_crashes(const std::vector<Tick>& ticks) {
+  for (ProcessId p = 0; p < n_; ++p) {
+    for (Tick t : ticks) {
+      add(single_crash(n_, p, t));
+    }
+  }
+  return *this;
+}
+
+PatternSweep& PatternSweep::with_random(int count, ProcessId min_crashes,
+                                        ProcessId max_crashes, Tick horizon) {
+  RFD_REQUIRE(min_crashes >= 0 && min_crashes <= max_crashes &&
+              max_crashes <= n_);
+  for (int i = 0; i < count; ++i) {
+    const auto k = static_cast<ProcessId>(rng_.range(min_crashes, max_crashes));
+    add(random_crashes(n_, k, horizon, rng_));
+  }
+  return *this;
+}
+
+PatternSweep& PatternSweep::with_cascades(ProcessId max_crashes, Tick start,
+                                          Tick gap) {
+  for (ProcessId k = 1; k <= max_crashes; ++k) {
+    add(cascade(n_, k, start, gap));
+  }
+  return *this;
+}
+
+PatternSweep& PatternSweep::with_all_but_one(Tick t) {
+  for (ProcessId p = 0; p < n_; ++p) {
+    add(all_but_one_crash(n_, p, t));
+  }
+  return *this;
+}
+
+}  // namespace rfd::model

@@ -1,0 +1,68 @@
+// Environments (Section 2.1): sets of failure patterns.
+//
+// The paper's environment is "all possible failure patterns" — crashes are
+// unbounded. The theorems quantify over that environment, so experiments
+// sweep over representative pattern families plus adversarially crafted
+// patterns (e.g. "all processes but one crash right after the decision",
+// the scenario behind Lemma 4.1 and Section 6.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/failure_pattern.hpp"
+
+namespace rfd::model {
+
+/// Named generators for single patterns.
+FailurePattern all_correct(ProcessId n);
+FailurePattern single_crash(ProcessId n, ProcessId p, Tick t);
+/// Everyone except `survivor` crashes at tick t.
+FailurePattern all_but_one_crash(ProcessId n, ProcessId survivor, Tick t);
+/// Processes 0..k-1 crash at start, start+gap, start+2*gap, ...
+FailurePattern cascade(ProcessId n, ProcessId k, Tick start, Tick gap);
+/// Exactly `k` distinct processes (chosen by rng) crash at rng ticks in
+/// [0, horizon).
+FailurePattern random_crashes(ProcessId n, ProcessId k, Tick horizon,
+                              Rng& rng);
+
+/// A reproducible family of failure patterns for sweep experiments.
+class PatternSweep {
+ public:
+  PatternSweep(ProcessId n, std::uint64_t seed);
+
+  /// Adds one explicit pattern.
+  PatternSweep& add(FailurePattern pattern);
+
+  /// Adds the all-correct pattern.
+  PatternSweep& with_all_correct();
+
+  /// Adds every single-crash pattern at each tick in `ticks`.
+  PatternSweep& with_single_crashes(const std::vector<Tick>& ticks);
+
+  /// Adds `count` random patterns with between `min_crashes` and
+  /// `max_crashes` crashes in [0, horizon). max_crashes may be n-1 or even
+  /// n (no process correct is allowed by the model, though agreement specs
+  /// then hold vacuously).
+  PatternSweep& with_random(int count, ProcessId min_crashes,
+                            ProcessId max_crashes, Tick horizon);
+
+  /// Adds cascades of k = 1 .. max_crashes crashes.
+  PatternSweep& with_cascades(ProcessId max_crashes, Tick start, Tick gap);
+
+  /// Adds, for each process p, the pattern where everyone but p crashes at
+  /// tick t (the unbounded-crash worst case driving the paper's results).
+  PatternSweep& with_all_but_one(Tick t);
+
+  const std::vector<FailurePattern>& patterns() const { return patterns_; }
+  ProcessId n() const { return n_; }
+
+ private:
+  ProcessId n_;
+  Rng rng_;
+  std::vector<FailurePattern> patterns_;
+};
+
+}  // namespace rfd::model

@@ -1,0 +1,115 @@
+#include "model/failure_pattern.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rfd::model {
+
+FailurePattern::FailurePattern(ProcessId n)
+    : crash_ticks_(static_cast<std::size_t>(n), kNever) {
+  RFD_REQUIRE_MSG(n > 0, "a system needs at least one process");
+}
+
+FailurePattern::FailurePattern(ProcessId n, std::vector<Tick> crash_ticks)
+    : crash_ticks_(std::move(crash_ticks)) {
+  RFD_REQUIRE(static_cast<std::size_t>(n) == crash_ticks_.size());
+  for (Tick t : crash_ticks_) {
+    RFD_REQUIRE_MSG(t >= 0, "crash ticks are natural numbers");
+  }
+}
+
+void FailurePattern::crash_at(ProcessId p, Tick t) {
+  RFD_REQUIRE(p >= 0 && p < n());
+  RFD_REQUIRE_MSG(t >= 0, "crash ticks are natural numbers");
+  crash_ticks_[static_cast<std::size_t>(p)] = t;
+}
+
+Tick FailurePattern::crash_tick(ProcessId p) const {
+  RFD_REQUIRE(p >= 0 && p < n());
+  return crash_ticks_[static_cast<std::size_t>(p)];
+}
+
+ProcessSet FailurePattern::crashed_by(Tick t) const {
+  ProcessSet out(n());
+  for (ProcessId p = 0; p < n(); ++p) {
+    if (crash_ticks_[static_cast<std::size_t>(p)] <= t) out.insert(p);
+  }
+  return out;
+}
+
+ProcessSet FailurePattern::alive_at(Tick t) const {
+  return crashed_by(t).complement();
+}
+
+bool FailurePattern::is_alive_at(ProcessId p, Tick t) const {
+  RFD_REQUIRE(p >= 0 && p < n());
+  return crash_ticks_[static_cast<std::size_t>(p)] > t;
+}
+
+ProcessSet FailurePattern::correct() const {
+  ProcessSet out(n());
+  for (ProcessId p = 0; p < n(); ++p) {
+    if (crash_ticks_[static_cast<std::size_t>(p)] == kNever) out.insert(p);
+  }
+  return out;
+}
+
+ProcessSet FailurePattern::faulty() const { return correct().complement(); }
+
+bool FailurePattern::agrees_up_to(const FailurePattern& other, Tick t) const {
+  if (n() != other.n()) return false;
+  for (ProcessId p = 0; p < n(); ++p) {
+    const Tick a = crash_ticks_[static_cast<std::size_t>(p)];
+    const Tick b = other.crash_ticks_[static_cast<std::size_t>(p)];
+    if (a == b) continue;
+    // Crash ticks differ; the patterns still agree up to t iff both crashes
+    // happen strictly after t.
+    if (a <= t || b <= t) return false;
+  }
+  return true;
+}
+
+Tick FailurePattern::divergence_tick(const FailurePattern& other) const {
+  RFD_REQUIRE(n() == other.n());
+  Tick first = kNever;
+  for (ProcessId p = 0; p < n(); ++p) {
+    const Tick a = crash_ticks_[static_cast<std::size_t>(p)];
+    const Tick b = other.crash_ticks_[static_cast<std::size_t>(p)];
+    if (a != b) {
+      first = std::min(first, std::min(a, b));
+    }
+  }
+  return first;
+}
+
+std::string FailurePattern::to_string() const {
+  std::string out = "F[";
+  for (ProcessId p = 0; p < n(); ++p) {
+    if (p != 0) out += " ";
+    const Tick t = crash_ticks_[static_cast<std::size_t>(p)];
+    out += "p" + std::to_string(p) + ":";
+    out += (t == kNever) ? "ok" : ("t" + std::to_string(t));
+  }
+  out += "]";
+  return out;
+}
+
+ProcessSet PastView::crashed_by(Tick t) const {
+  RFD_REQUIRE_MSG(t <= now_,
+                  "realistic oracle attempted to read a future crash set");
+  return pattern_->crashed_by(t);
+}
+
+bool PastView::has_crashed_by(ProcessId p, Tick t) const {
+  RFD_REQUIRE_MSG(t <= now_,
+                  "realistic oracle attempted to read a future crash");
+  return !pattern_->is_alive_at(p, t);
+}
+
+Tick PastView::crash_tick_if_past(ProcessId p) const {
+  const Tick t = pattern_->crash_tick(p);
+  return t <= now_ ? t : kNever;
+}
+
+}  // namespace rfd::model

@@ -1,0 +1,110 @@
+// Failure patterns (Section 2.1).
+//
+// A failure pattern is a function F from ticks to subsets of Omega, where
+// F(t) is the set of processes that have crashed through time t. Crashes
+// are permanent (crash-stop model), so F is fully described by one crash
+// tick per process (kNever for correct processes); F(t) is monotone in t.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+
+namespace rfd::model {
+
+class FailurePattern {
+ public:
+  /// All-correct pattern over n processes.
+  explicit FailurePattern(ProcessId n);
+
+  /// Pattern with explicit per-process crash ticks (kNever = correct).
+  FailurePattern(ProcessId n, std::vector<Tick> crash_ticks);
+
+  ProcessId n() const { return static_cast<ProcessId>(crash_ticks_.size()); }
+
+  /// Declares that p crashes at tick t (p performs no action at or after t).
+  void crash_at(ProcessId p, Tick t);
+
+  /// Crash tick of p, or kNever.
+  Tick crash_tick(ProcessId p) const;
+
+  /// F(t): processes that have crashed through time t.
+  ProcessSet crashed_by(Tick t) const;
+
+  /// Processes that have NOT crashed through time t.
+  ProcessSet alive_at(Tick t) const;
+
+  bool is_alive_at(ProcessId p, Tick t) const;
+
+  /// correct(F): processes that never crash.
+  ProcessSet correct() const;
+
+  /// faulty(F) = Omega \ correct(F). This is future information: only
+  /// non-realistic oracles may consult it (see pattern_view.hpp).
+  ProcessSet faulty() const;
+
+  ProcessId num_faulty() const { return faulty().count(); }
+
+  /// True when the two patterns agree at every tick <= t, i.e.
+  /// for all t1 <= t, F(t1) = F'(t1). This is the similarity notion used
+  /// by the realism definition (Section 3.1).
+  bool agrees_up_to(const FailurePattern& other, Tick t) const;
+
+  /// Earliest tick at which this pattern and `other` differ, or kNever.
+  Tick divergence_tick(const FailurePattern& other) const;
+
+  bool operator==(const FailurePattern& other) const {
+    return crash_ticks_ == other.crash_ticks_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Tick> crash_ticks_;
+};
+
+/// View of a failure pattern restricted to ticks <= now: the only window a
+/// *realistic* failure detector may look through (Section 3.1). Accessors
+/// abort if asked about the future, so realism of the concrete oracles in
+/// src/fd is enforced structurally, not just by tests.
+class PastView {
+ public:
+  PastView(const FailurePattern& pattern, Tick now)
+      : pattern_(&pattern), now_(now) {}
+
+  Tick now() const { return now_; }
+  ProcessId n() const { return pattern_->n(); }
+
+  /// F(t) for t <= now only.
+  ProcessSet crashed_by(Tick t) const;
+
+  /// Whether p has crashed by `t` (t <= now only).
+  bool has_crashed_by(ProcessId p, Tick t) const;
+
+  /// Crash tick of p if it crashed at or before `now`, else kNever ("not
+  /// crashed as far as anyone can tell yet").
+  Tick crash_tick_if_past(ProcessId p) const;
+
+ private:
+  const FailurePattern* pattern_;
+  Tick now_;
+};
+
+/// Unrestricted view, including the future (correct()/faulty() of the whole
+/// run). Required by non-realistic oracles such as the Marabout (Section
+/// 3.2.2); requesting this view is what marks an oracle non-realistic.
+class FullView {
+ public:
+  explicit FullView(const FailurePattern& pattern) : pattern_(&pattern) {}
+
+  const FailurePattern& pattern() const { return *pattern_; }
+  ProcessSet faulty() const { return pattern_->faulty(); }
+  ProcessSet correct() const { return pattern_->correct(); }
+
+ private:
+  const FailurePattern* pattern_;
+};
+
+}  // namespace rfd::model

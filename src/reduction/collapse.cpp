@@ -1,0 +1,93 @@
+#include "reduction/collapse.hpp"
+
+#include "common/assert.hpp"
+#include "fd/properties.hpp"
+
+namespace rfd::red {
+
+FalseSuspicion find_false_suspicion(const model::FailurePattern& f,
+                                    const fd::History& h) {
+  for (Tick t = 0; t < h.horizon(); ++t) {
+    const ProcessSet alive = f.alive_at(t);
+    for (ProcessId obs = 0; obs < h.n(); ++obs) {
+      const ProcessSet hit = h.at(obs, t).suspects & alive;
+      if (!hit.empty()) {
+        return {true, obs, hit.min(), t};
+      }
+    }
+  }
+  return {};
+}
+
+CollapseWitness collapse_witness(const fd::OracleFactory& factory,
+                                 const model::FailurePattern& f,
+                                 std::uint64_t seed, Tick horizon,
+                                 const std::vector<std::uint64_t>& seeds) {
+  CollapseWitness witness;
+  const auto oracle = factory(f, seed);
+  const fd::History h = fd::sample_history(*oracle, horizon);
+  witness.suspicion = find_false_suspicion(f, h);
+  witness.has_false_suspicion = witness.suspicion.found;
+  if (!witness.has_false_suspicion) return witness;
+
+  const Tick t = witness.suspicion.at;
+  const ProcessId victim = witness.suspicion.victim;
+
+  // F': same crashes up to t; everyone except the victim crashes at t+1;
+  // the victim is correct.
+  model::FailurePattern f_prime(f.n());
+  for (ProcessId p = 0; p < f.n(); ++p) {
+    if (p == victim) continue;  // correct in F'
+    const Tick crash = f.crash_tick(p);
+    f_prime.crash_at(p, crash <= t ? crash : t + 1);
+  }
+  RFD_REQUIRE(f.agrees_up_to(f_prime, t));
+  witness.f_prime = f_prime.to_string();
+
+  // Does D (sampled over `seeds`) admit the same prefix in F'?
+  const Tick prefix_horizon = t + 1;
+  for (std::uint64_t s : seeds) {
+    const auto oracle_prime = factory(f_prime, s);
+    const fd::History h_prime = fd::sample_history(*oracle_prime,
+                                                   prefix_horizon);
+    bool equal = true;
+    for (ProcessId p = 0; p < f.n() && equal; ++p) {
+      for (Tick t1 = 0; t1 <= t && equal; ++t1) {
+        equal = h.at(p, t1) == h_prime.at(p, t1);
+      }
+    }
+    if (equal) {
+      witness.prefix_transfers = true;
+      // In F' the victim is the only correct process, and this very prefix
+      // shows it suspected at time t: weak accuracy cannot hold for any
+      // continuation of this history.
+      RFD_REQUIRE(f_prime.correct() ==
+                  ProcessSet::of(f.n(), {victim}));
+      witness.weak_accuracy_broken_in_f_prime =
+          h_prime.at(witness.suspicion.observer, t).suspects.contains(victim);
+      break;
+    }
+  }
+  return witness;
+}
+
+CollapseAudit audit_strong_realistic(
+    const fd::OracleFactory& factory,
+    const std::vector<model::FailurePattern>& patterns,
+    const std::vector<std::uint64_t>& seeds, Tick horizon) {
+  CollapseAudit audit;
+  for (const auto& f : patterns) {
+    for (std::uint64_t seed : seeds) {
+      ++audit.histories;
+      const CollapseWitness w =
+          collapse_witness(factory, f, seed, horizon, seeds);
+      if (!w.has_false_suspicion) continue;
+      ++audit.with_false_suspicion;
+      if (w.prefix_transfers) ++audit.transfers;
+      if (w.weak_accuracy_broken_in_f_prime) ++audit.weak_accuracy_broken;
+    }
+  }
+  return audit;
+}
+
+}  // namespace rfd::red

@@ -1,0 +1,81 @@
+// The Strong/Perfect collapse within the realistic space (Section 6.3):
+// S ∩ R ⊂ P.
+//
+// The paper's argument, executable: suppose a realistic detector D falsely
+// suspects p_i at time t in pattern F. Build F' - identical to F up to t,
+// but every process except p_i crashes at t+1. Realism forces D to be able
+// to output the same prefix in F'; there the only correct process is p_i,
+// and it was suspected, so weak accuracy fails and D is not Strong. Hence
+// a realistic Strong detector can have no false suspicion: it is Perfect.
+//
+// collapse_witness() performs that construction on a sampled history;
+// audit_strong_realistic() sweeps it across patterns and seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fd/history.hpp"
+#include "fd/oracle.hpp"
+#include "fd/realism.hpp"
+#include "model/failure_pattern.hpp"
+
+namespace rfd::red {
+
+struct FalseSuspicion {
+  bool found = false;
+  ProcessId observer = -1;
+  ProcessId victim = -1;
+  Tick at = -1;
+};
+
+/// First (in time) suspicion of a process that was alive at that tick.
+FalseSuspicion find_false_suspicion(const model::FailurePattern& f,
+                                    const fd::History& h);
+
+struct CollapseWitness {
+  /// Whether the sampled history had a false suspicion to work with.
+  bool has_false_suspicion = false;
+  FalseSuspicion suspicion;
+  /// The constructed F' in which everyone but the victim crashes at t+1.
+  std::string f_prime;
+  /// Realism: could D have produced the same prefix in F'? (Checked over
+  /// the provided seeds.) True for realistic detectors - which is what
+  /// dooms them; clairvoyant detectors escape here and only here.
+  bool prefix_transfers = false;
+  /// In the transferred history, weak accuracy fails in F' (the lone
+  /// correct process is suspected), i.e. D is not Strong.
+  bool weak_accuracy_broken_in_f_prime = false;
+};
+
+/// Runs the Section 6.3 construction for one (pattern, seed).
+CollapseWitness collapse_witness(const fd::OracleFactory& factory,
+                                 const model::FailurePattern& f,
+                                 std::uint64_t seed, Tick horizon,
+                                 const std::vector<std::uint64_t>& seeds);
+
+struct CollapseAudit {
+  std::int64_t histories = 0;
+  std::int64_t with_false_suspicion = 0;
+  /// Among histories with a false suspicion: how many transfer to F' (and
+  /// thereby break weak accuracy there).
+  std::int64_t transfers = 0;
+  std::int64_t weak_accuracy_broken = 0;
+
+  /// The collapse statement for this detector: every realistic history
+  /// that looks Strong is in fact Perfect on the window (no false
+  /// suspicions at all), or its false suspicions transfer and break S.
+  bool consistent_with_collapse() const {
+    return with_false_suspicion == transfers &&
+           transfers == weak_accuracy_broken;
+  }
+};
+
+/// Sweeps collapse_witness over patterns x seeds.
+CollapseAudit audit_strong_realistic(
+    const fd::OracleFactory& factory,
+    const std::vector<model::FailurePattern>& patterns,
+    const std::vector<std::uint64_t>& seeds, Tick horizon);
+
+}  // namespace rfd::red

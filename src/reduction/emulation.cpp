@@ -1,0 +1,99 @@
+#include "reduction/emulation.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::red {
+
+fd::History history_from_timelines(
+    ProcessId n, Tick horizon,
+    const std::vector<std::vector<std::pair<Tick, ProcessId>>>& timelines) {
+  RFD_REQUIRE(static_cast<ProcessId>(timelines.size()) == n);
+  fd::History h(n, horizon);
+  for (ProcessId p = 0; p < n; ++p) {
+    ProcessSet suspects(n);
+    std::size_t next = 0;
+    const auto& timeline = timelines[static_cast<std::size_t>(p)];
+    for (Tick t = 0; t < horizon; ++t) {
+      while (next < timeline.size() && timeline[next].first <= t) {
+        suspects.insert(timeline[next].second);
+        ++next;
+      }
+      fd::FdValue v;
+      v.suspects = suspects;
+      h.record(p, t, std::move(v));
+    }
+  }
+  return h;
+}
+
+/// The consumer's view of the world: its failure detector module is the
+/// reduction's emulated output(P); its messages travel under the consumer
+/// tag.
+class EmulatedFdStack::ConsumerContext final : public sim::ForwardingContext {
+ public:
+  ConsumerContext(sim::Context& parent, const ConsensusToP& reduction,
+                  ProcessId n)
+      : ForwardingContext(parent), emulated_() {
+    emulated_.suspects = reduction.output();
+    (void)n;
+  }
+
+  const fd::FdValue& fd() const override { return emulated_; }
+
+  void send_tagged(ProcessId dst, Bytes payload,
+                   const ProcessSet& tags) override {
+    parent_->send_tagged(dst, sim::frame(kConsumerTag, std::move(payload)),
+                         tags);
+  }
+
+ private:
+  fd::FdValue emulated_;
+};
+
+EmulatedFdStack::EmulatedFdStack(ProcessId n,
+                                 ConsensusToP::ConsensusFactory reduction_base,
+                                 InstanceId reduction_instances,
+                                 ConsumerFactory consumer, Tick reduction_gap)
+    : n_(n), consumer_factory_(std::move(consumer)) {
+  reduction_ = std::make_unique<ConsensusToP>(n, std::move(reduction_base),
+                                              reduction_instances,
+                                              reduction_gap);
+  RFD_REQUIRE(consumer_factory_ != nullptr);
+}
+
+void EmulatedFdStack::on_start(sim::Context& ctx) {
+  {
+    sim::SubInstanceContext sub(ctx, kReductionTag);
+    reduction_->on_start(sub);
+  }
+  consumer_ = consumer_factory_(ctx.self());
+  RFD_REQUIRE(consumer_ != nullptr);
+  consumer_started_ = true;
+  ConsumerContext sub(ctx, *reduction_, n_);
+  consumer_->on_start(sub);
+}
+
+void EmulatedFdStack::on_step(sim::Context& ctx, const sim::Incoming* m) {
+  if (m != nullptr) {
+    auto [tag, inner] = sim::unframe(m->payload);
+    const sim::Incoming inner_msg{m->src, inner, m->alive_tags, m->id};
+    if (tag == kReductionTag) {
+      sim::SubInstanceContext sub(ctx, kReductionTag);
+      reduction_->on_step(sub, &inner_msg);
+    } else if (tag == kConsumerTag && consumer_started_) {
+      ConsumerContext sub(ctx, *reduction_, n_);
+      consumer_->on_step(sub, &inner_msg);
+    }
+  } else {
+    {
+      sim::SubInstanceContext sub(ctx, kReductionTag);
+      reduction_->on_step(sub, nullptr);
+    }
+    if (consumer_started_) {
+      ConsumerContext sub(ctx, *reduction_, n_);
+      consumer_->on_step(sub, nullptr);
+    }
+  }
+}
+
+}  // namespace rfd::red

@@ -1,0 +1,65 @@
+// Bridging emulated detectors back into the failure detector formalism.
+//
+// The reductions produce, per process, a timeline of (tick, suspect)
+// additions to output(P). Assembling those timelines into an fd::History
+// lets the standard class-property checkers (fd/properties.hpp) certify
+// Lemma 4.2 / Proposition 5.1 with the very same code that certifies the
+// native oracles - the emulated detector is judged by the rules of the
+// formalism, not by bespoke assertions.
+//
+// EmulatedFdStack closes the loop at runtime: it runs a reduction and a
+// consumer algorithm side by side in one automaton, feeding the consumer
+// the *emulated* suspect set as its detector module. This is the paper's
+// collapse made executable: D solves consensus => T(D->P) => P => TRB.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fd/history.hpp"
+#include "reduction/consensus_to_p.hpp"
+#include "sim/automaton.hpp"
+#include "sim/composition.hpp"
+
+namespace rfd::red {
+
+/// Monotone suspicion timelines (one per process) -> a sampled history
+/// over [0, horizon).
+fd::History history_from_timelines(
+    ProcessId n, Tick horizon,
+    const std::vector<std::vector<std::pair<Tick, ProcessId>>>& timelines);
+
+/// Runs a ConsensusToP reduction and a consumer automaton in one process.
+/// The consumer's ctx.fd() is overridden with the reduction's output(P);
+/// the real oracle remains visible only to the reduction's consensus
+/// instances. Consumer traffic is framed under a separate tag space.
+class EmulatedFdStack final : public sim::Automaton {
+ public:
+  using ConsumerFactory =
+      std::function<std::unique_ptr<sim::Automaton>(ProcessId self)>;
+
+  EmulatedFdStack(ProcessId n, ConsensusToP::ConsensusFactory reduction_base,
+                  InstanceId reduction_instances, ConsumerFactory consumer,
+                  Tick reduction_gap = 0);
+
+  void on_start(sim::Context& ctx) override;
+  void on_step(sim::Context& ctx, const sim::Incoming* m) override;
+
+  const ConsensusToP& reduction() const { return *reduction_; }
+  sim::Automaton& consumer() { return *consumer_; }
+
+ private:
+  static constexpr InstanceId kReductionTag = 0;
+  static constexpr InstanceId kConsumerTag = 1;
+
+  class ConsumerContext;
+
+  ProcessId n_;
+  std::unique_ptr<ConsensusToP> reduction_;
+  std::unique_ptr<sim::Automaton> consumer_;
+  ConsumerFactory consumer_factory_;
+  bool consumer_started_ = false;
+};
+
+}  // namespace rfd::red

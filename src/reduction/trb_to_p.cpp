@@ -1,0 +1,115 @@
+#include "reduction/trb_to_p.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::red {
+
+/// Frames one TRB instance's traffic and reports its delivery back.
+class TrbToP::ChildContext final : public sim::ForwardingContext {
+ public:
+  ChildContext(sim::Context& parent, TrbToP& owner, InstanceId tag)
+      : ForwardingContext(parent), owner_(&owner), tag_(tag) {}
+
+  void send_tagged(ProcessId dst, Bytes payload,
+                   const ProcessSet& tags) override {
+    parent_->send_tagged(dst, sim::frame(tag_, std::move(payload)), tags);
+  }
+
+  void deliver(InstanceId /*inner*/, Value v) override {
+    owner_->on_child_delivers(*parent_, tag_, v);
+  }
+
+ private:
+  TrbToP* owner_;
+  InstanceId tag_;
+};
+
+TrbToP::TrbToP(ProcessId n, InstanceId max_rounds, Tick min_round_gap)
+    : n_(n), max_rounds_(max_rounds), min_round_gap_(min_round_gap),
+      output_(n) {
+  RFD_REQUIRE(n >= 2);
+  RFD_REQUIRE(max_rounds >= 1);
+  RFD_REQUIRE(min_round_gap >= 0);
+}
+
+TrbToP::Child& TrbToP::ensure_child(sim::Context& ctx, InstanceId tag) {
+  auto it = children_.find(tag);
+  if (it != children_.end()) return it->second;
+
+  const InstanceId round = tag / n_;
+  const auto sender = static_cast<ProcessId>(tag % n_);
+  const Value value = static_cast<Value>(sender) + 1 +
+                      static_cast<Value>(round) * 1000;
+  Child child;
+  child.automaton =
+      std::make_unique<algo::TrbAutomaton>(n_, sender, value, /*instance=*/0);
+  auto [pos, inserted] = children_.emplace(tag, std::move(child));
+  RFD_REQUIRE(inserted);
+
+  ChildContext sub(ctx, *this, tag);
+  pos->second.automaton->on_start(sub);
+  return pos->second;
+}
+
+void TrbToP::on_child_delivers(sim::Context& ctx, InstanceId tag, Value v) {
+  Child& child = children_.at(tag);
+  if (child.delivered) return;
+  child.delivered = true;
+
+  const auto sender = static_cast<ProcessId>(tag % n_);
+  // The paper's rule: a nil delivery for instance (i, *) puts p_i into
+  // output(P).
+  if (v == kNilValue && !output_.contains(sender)) {
+    output_.insert(sender);
+    timeline_.emplace_back(ctx.now(), sender);
+  }
+
+  if (tag / n_ == completed_rounds_) {
+    ++delivered_in_current_round_;
+    maybe_advance_round(ctx);
+  }
+}
+
+void TrbToP::maybe_advance_round(sim::Context& ctx) {
+  while (delivered_in_current_round_ == static_cast<std::int64_t>(n_) &&
+         completed_rounds_ + 1 < max_rounds_ &&
+         ctx.now() >= last_round_start_ + min_round_gap_) {
+    ++completed_rounds_;
+    delivered_in_current_round_ = 0;
+    last_round_start_ = ctx.now();
+    // Start the whole next round; count instances that already delivered
+    // through early message arrivals.
+    for (ProcessId i = 0; i < n_; ++i) {
+      Child& child = ensure_child(ctx, tag_of(completed_rounds_, i));
+      if (child.delivered) ++delivered_in_current_round_;
+    }
+  }
+}
+
+void TrbToP::on_start(sim::Context& ctx) {
+  last_round_start_ = ctx.now();
+  for (ProcessId i = 0; i < n_; ++i) {
+    ensure_child(ctx, tag_of(0, i));
+  }
+}
+
+void TrbToP::on_step(sim::Context& ctx, const sim::Incoming* m) {
+  if (m != nullptr) {
+    auto [tag, inner] = sim::unframe(m->payload);
+    if (tag < 0 || tag >= max_rounds_ * n_) return;
+    Child& child = ensure_child(ctx, tag);
+    ChildContext sub(ctx, *this, tag);
+    const sim::Incoming inner_msg{m->src, inner, m->alive_tags, m->id};
+    child.automaton->on_step(sub, &inner_msg);
+  } else {
+    for (auto& [tag, child] : children_) {
+      if (child.delivered) continue;
+      ChildContext sub(ctx, *this, tag);
+      child.automaton->on_step(sub, nullptr);
+    }
+  }
+  // The round throttle is time-based; re-check it on every step.
+  maybe_advance_round(ctx);
+}
+
+}  // namespace rfd::red

@@ -1,0 +1,67 @@
+// Emulating P from terminating reliable broadcast (Proposition 5.1,
+// necessary condition).
+//
+// Runs rounds of TRB instances - in round k every process is the sender of
+// instance (i, k) - and applies the paper's rule: whenever p_j delivers
+// nil for an instance whose sender is p_i, it adds p_i to output(P)_j.
+// With a realistic detector a nil delivery certifies that the sender had
+// crashed (strong accuracy); a crashed sender yields nil in every later
+// round at every correct process (strong completeness).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "algo/trb/trb.hpp"
+#include "sim/automaton.hpp"
+#include "sim/composition.hpp"
+
+namespace rfd::red {
+
+class TrbToP final : public sim::Automaton {
+ public:
+  /// Runs `max_rounds` rounds of n TRB instances each. `min_round_gap`
+  /// paces the rounds so the bounded sequence spans the crash window (the
+  /// paper's sequence is infinite).
+  TrbToP(ProcessId n, InstanceId max_rounds, Tick min_round_gap = 0);
+
+  void on_start(sim::Context& ctx) override;
+  void on_step(sim::Context& ctx, const sim::Incoming* m) override;
+
+  const ProcessSet& output() const { return output_; }
+  const std::vector<std::pair<Tick, ProcessId>>& suspicion_timeline() const {
+    return timeline_;
+  }
+  /// Rounds whose n instances have all delivered locally.
+  InstanceId rounds_completed() const { return completed_rounds_; }
+
+ private:
+  struct Child {
+    std::unique_ptr<algo::TrbAutomaton> automaton;
+    bool delivered = false;
+  };
+
+  class ChildContext;
+
+  InstanceId tag_of(InstanceId round, ProcessId sender) const {
+    return round * n_ + static_cast<InstanceId>(sender);
+  }
+
+  Child& ensure_child(sim::Context& ctx, InstanceId tag);
+  void on_child_delivers(sim::Context& ctx, InstanceId tag, Value v);
+  void maybe_advance_round(sim::Context& ctx);
+
+  ProcessId n_;
+  InstanceId max_rounds_;
+  Tick min_round_gap_;
+
+  std::map<InstanceId, Child> children_;
+  InstanceId completed_rounds_ = 0;
+  Tick last_round_start_ = 0;
+  std::int64_t delivered_in_current_round_ = 0;
+  ProcessSet output_;
+  std::vector<std::pair<Tick, ProcessId>> timeline_;
+};
+
+}  // namespace rfd::red

@@ -1,0 +1,127 @@
+#include "runtime/detectors.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rfd::rt {
+
+FixedTimeoutDetector::FixedTimeoutDetector(FixedTimeoutParams params)
+    : params_(params) {
+  RFD_REQUIRE(params.timeout_ms > 0.0);
+}
+
+void FixedTimeoutDetector::on_heartbeat(double now) { last_heartbeat_ = now; }
+
+bool FixedTimeoutDetector::suspects(double now) const {
+  if (last_heartbeat_ < 0.0) {
+    // Grace period measured from time 0 until the first heartbeat.
+    return now > params_.timeout_ms;
+  }
+  return now - last_heartbeat_ > params_.timeout_ms;
+}
+
+ChenAdaptiveDetector::ChenAdaptiveDetector(ChenAdaptiveParams params)
+    : params_(params) {
+  RFD_REQUIRE(params.window >= 2);
+  RFD_REQUIRE(params.alpha_ms > 0.0);
+}
+
+void ChenAdaptiveDetector::on_heartbeat(double now) {
+  arrivals_.push_back(now);
+  while (static_cast<int>(arrivals_.size()) > params_.window) {
+    arrivals_.pop_front();
+  }
+  if (arrivals_.size() >= 2) {
+    // Chen-Toueg NFD-E: EA = mean inter-arrival extrapolated from the
+    // window's first arrival, advanced one period past the latest.
+    const double span = arrivals_.back() - arrivals_.front();
+    const double period =
+        span / static_cast<double>(arrivals_.size() - 1);
+    expected_arrival_ = arrivals_.back() + period;
+  } else {
+    expected_arrival_ = -1.0;
+  }
+}
+
+bool ChenAdaptiveDetector::suspects(double now) const {
+  if (arrivals_.empty()) {
+    return now > params_.fallback_timeout_ms;
+  }
+  if (expected_arrival_ < 0.0) {
+    return now - arrivals_.back() > params_.fallback_timeout_ms;
+  }
+  return now > expected_arrival_ + params_.alpha_ms;
+}
+
+PhiAccrualDetector::PhiAccrualDetector(PhiAccrualParams params)
+    : params_(params) {
+  RFD_REQUIRE(params.window >= 2);
+  RFD_REQUIRE(params.threshold > 0.0);
+}
+
+void PhiAccrualDetector::on_heartbeat(double now) {
+  if (last_heartbeat_ >= 0.0) {
+    intervals_.push_back(now - last_heartbeat_);
+    while (static_cast<int>(intervals_.size()) > params_.window) {
+      intervals_.pop_front();
+    }
+    double sum = 0.0;
+    for (double x : intervals_) sum += x;
+    mean_ = sum / static_cast<double>(intervals_.size());
+    double sq = 0.0;
+    for (double x : intervals_) sq += (x - mean_) * (x - mean_);
+    var_ = intervals_.size() > 1
+               ? sq / static_cast<double>(intervals_.size() - 1)
+               : 0.0;
+  }
+  last_heartbeat_ = now;
+}
+
+double PhiAccrualDetector::phi(double now) const {
+  if (last_heartbeat_ < 0.0 || intervals_.empty()) {
+    return 0.0;
+  }
+  const double elapsed = now - last_heartbeat_;
+  const double stddev =
+      std::max(std::sqrt(var_), params_.min_stddev_ms);
+  // P(inter-arrival > elapsed) under a normal fit; phi = -log10 of it.
+  const double z = (elapsed - mean_) / stddev;
+  // Complementary CDF via erfc; clamp to avoid -log10(0).
+  double tail = 0.5 * std::erfc(z / std::sqrt(2.0));
+  tail = std::max(tail, 1e-300);
+  return -std::log10(tail);
+}
+
+bool PhiAccrualDetector::suspects(double now) const {
+  if (last_heartbeat_ < 0.0 || intervals_.empty()) {
+    return now > params_.fallback_timeout_ms;
+  }
+  return phi(now) > params_.threshold;
+}
+
+std::unique_ptr<PeerDetector> make_detector(const DetectorParams& params) {
+  switch (params.kind) {
+    case DetectorKind::kFixed:
+      return std::make_unique<FixedTimeoutDetector>(params.fixed);
+    case DetectorKind::kChen:
+      return std::make_unique<ChenAdaptiveDetector>(params.chen);
+    case DetectorKind::kPhi:
+      return std::make_unique<PhiAccrualDetector>(params.phi);
+  }
+  RFD_UNREACHABLE("unknown detector kind");
+}
+
+std::string detector_kind_name(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kFixed:
+      return "fixed";
+    case DetectorKind::kChen:
+      return "chen";
+    case DetectorKind::kPhi:
+      return "phi";
+  }
+  return "?";
+}
+
+}  // namespace rfd::rt

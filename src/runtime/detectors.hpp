@@ -1,0 +1,119 @@
+// Timeout-based failure detector implementations over heartbeats.
+//
+// These are the "realistic failure detectors" as deployed systems build
+// them - <>P-grade at best: they can always be wrong before the network
+// stabilizes. Three classics are provided:
+//
+//   FixedTimeoutDetector  - suspect after a constant silence window;
+//   ChenAdaptiveDetector  - Chen-Toueg NFD-E style: estimate the next
+//                           heartbeat arrival from a sliding window of
+//                           past arrivals and add a safety margin alpha;
+//   PhiAccrualDetector    - Hayashibara-style accrual detector: suspicion
+//                           level phi = -log10 P(heartbeat still pending),
+//                           with inter-arrival times fitted by a normal
+//                           distribution; suspect when phi exceeds a
+//                           threshold.
+//
+// Each detector instance monitors ONE peer. A node composes one instance
+// per peer (see qos.cpp / membership.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+namespace rfd::rt {
+
+class PeerDetector {
+ public:
+  virtual ~PeerDetector() = default;
+
+  /// Records a heartbeat from the monitored peer at time `now` (ms).
+  virtual void on_heartbeat(double now) = 0;
+
+  /// Whether the peer is suspected at time `now`.
+  virtual bool suspects(double now) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct FixedTimeoutParams {
+  double timeout_ms = 500.0;
+};
+
+class FixedTimeoutDetector final : public PeerDetector {
+ public:
+  explicit FixedTimeoutDetector(FixedTimeoutParams params);
+
+  void on_heartbeat(double now) override;
+  bool suspects(double now) const override;
+  std::string name() const override { return "fixed"; }
+
+ private:
+  FixedTimeoutParams params_;
+  double last_heartbeat_ = -1.0;  // -1 = none yet (grace until first)
+};
+
+struct ChenAdaptiveParams {
+  int window = 16;           // arrivals remembered
+  double alpha_ms = 100.0;   // safety margin added to the estimated arrival
+  double fallback_timeout_ms = 1000.0;  // before the first heartbeat
+};
+
+class ChenAdaptiveDetector final : public PeerDetector {
+ public:
+  explicit ChenAdaptiveDetector(ChenAdaptiveParams params);
+
+  void on_heartbeat(double now) override;
+  bool suspects(double now) const override;
+  std::string name() const override { return "chen"; }
+
+  /// Expected arrival time of the next heartbeat (for diagnostics).
+  double expected_arrival() const { return expected_arrival_; }
+
+ private:
+  ChenAdaptiveParams params_;
+  std::deque<double> arrivals_;
+  double expected_arrival_ = -1.0;
+};
+
+struct PhiAccrualParams {
+  int window = 32;
+  double threshold = 8.0;          // suspect when phi exceeds this
+  double min_stddev_ms = 10.0;     // variance floor for early samples
+  double fallback_timeout_ms = 1000.0;
+};
+
+class PhiAccrualDetector final : public PeerDetector {
+ public:
+  explicit PhiAccrualDetector(PhiAccrualParams params);
+
+  void on_heartbeat(double now) override;
+  bool suspects(double now) const override;
+  std::string name() const override { return "phi"; }
+
+  /// Current suspicion level phi at time `now`.
+  double phi(double now) const;
+
+ private:
+  PhiAccrualParams params_;
+  std::deque<double> intervals_;
+  double last_heartbeat_ = -1.0;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+};
+
+enum class DetectorKind { kFixed, kChen, kPhi };
+
+struct DetectorParams {
+  DetectorKind kind = DetectorKind::kChen;
+  FixedTimeoutParams fixed;
+  ChenAdaptiveParams chen;
+  PhiAccrualParams phi;
+};
+
+std::unique_ptr<PeerDetector> make_detector(const DetectorParams& params);
+std::string detector_kind_name(DetectorKind kind);
+
+}  // namespace rfd::rt

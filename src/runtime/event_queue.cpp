@@ -1,0 +1,25 @@
+#include "runtime/event_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::rt {
+
+void EventQueue::schedule(double at, Action action) {
+  RFD_REQUIRE_MSG(at >= now_, "cannot schedule into the past");
+  queue_.push({at, next_seq_++, std::move(action)});
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().at <= t_end) {
+    // Copy out before popping: the action may schedule more events.
+    Entry entry{queue_.top().at, queue_.top().seq,
+                std::move(const_cast<Entry&>(queue_.top()).action)};
+    queue_.pop();
+    now_ = entry.at;
+    ++executed_;
+    entry.action();
+  }
+  now_ = t_end;
+}
+
+}  // namespace rfd::rt

@@ -1,0 +1,54 @@
+// Continuous-time discrete-event core for the runtime layer.
+//
+// The abstract model of src/sim uses a logical tick per step; the runtime
+// layer instead simulates wall-clock behaviour (heartbeat periods, network
+// delays in milliseconds) to evaluate what real timeout-based detectors
+// deliver. Events carry a deterministic tiebreak sequence number so runs
+// are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace rfd::rt {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at` (>= now()).
+  void schedule(double at, Action action);
+
+  /// Schedules `action` `delay` after now().
+  void schedule_in(double delay, Action action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  double now() const { return now_; }
+
+  /// Runs events in time order until the queue drains or the next event
+  /// lies beyond `t_end`; the clock finishes at min(t_end, last event).
+  void run_until(double t_end);
+
+  std::int64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    double at;
+    std::int64_t seq;
+    Action action;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  double now_ = 0.0;
+  std::int64_t next_seq_ = 0;
+  std::int64_t executed_ = 0;
+};
+
+}  // namespace rfd::rt

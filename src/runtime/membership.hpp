@@ -1,0 +1,67 @@
+// A group membership service that emulates a Perfect failure detector by
+// exclusion - the paper's explanation (Section 1.3) for why reliable
+// systems get away with unreliable timeouts:
+//
+//   "when a process is suspected, i.e., timed-out, it is excluded from the
+//    group: every suspicion hence turns out to be accurate."
+//
+// Nodes heartbeat the members of their current view. The acting
+// coordinator (the smallest view member it does not suspect... itself)
+// turns detector suspicions into view changes; a node that learns it was
+// excluded halts (process-controlled crash). Within the group abstraction
+// the suspicion list - the complement of the view - is therefore Perfect:
+// complete (crashed members stop heartbeating and get excluded) and
+// accurate *by construction* (excluded members are dead or about to be).
+// The honest cost shows up as false exclusions: live nodes sacrificed to
+// keep the abstraction's accuracy, measured here against the detector
+// tuning (experiment E8).
+//
+// The view-adoption rule (highest (view id, -proposer) wins) is the
+// primary-partition simplification of consensus-based view agreement; the
+// abstract layer (src/algo) carries the full consensus-based construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "runtime/detectors.hpp"
+#include "runtime/network.hpp"
+
+namespace rfd::rt {
+
+struct MembershipConfig {
+  NodeId n = 6;
+  DetectorParams detector;
+  NetworkParams network;
+  double heartbeat_interval_ms = 100.0;
+  double check_interval_ms = 50.0;
+  double duration_ms = 60'000.0;
+  /// Per-node crash time; <= 0 means the node never crashes. Empty means
+  /// nobody crashes.
+  std::vector<double> crash_at_ms;
+};
+
+struct MembershipResult {
+  std::int64_t exclusions = 0;
+  /// Exclusions whose target was actually alive when proposed (detector
+  /// mistakes turned into sacrifices).
+  std::int64_t false_exclusions = 0;
+  /// Excluded nodes that learned of it and halted.
+  std::int64_t self_terminations = 0;
+  /// Crash -> first view installed (at the proposer) without the victim.
+  Summary exclusion_latency_ms;
+  /// All active (alive, not halted) nodes ended with identical views that
+  /// contain exactly the active nodes.
+  bool converged = false;
+  /// Every exclusion is accurate by the end of the run: the excluded node
+  /// crashed or halted (the paper's emulation claim).
+  bool suspicions_accurate = false;
+  std::string final_view;
+};
+
+MembershipResult run_membership_experiment(const MembershipConfig& config,
+                                           std::uint64_t seed);
+
+}  // namespace rfd::rt

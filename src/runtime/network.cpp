@@ -1,0 +1,34 @@
+#include "runtime/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::rt {
+
+Network::Network(EventQueue& queue, std::uint64_t seed, NetworkParams params)
+    : queue_(&queue), rng_(seed), params_(params) {
+  RFD_REQUIRE(params.min_delay_ms >= 0.0);
+  RFD_REQUIRE(params.loss_prob >= 0.0 && params.loss_prob < 1.0);
+}
+
+double Network::sample_delay() {
+  double delay =
+      params_.min_delay_ms + rng_.lognormal(params_.jitter_mu,
+                                            params_.jitter_sigma);
+  if (queue_->now() < params_.gst_ms &&
+      rng_.chance(params_.pre_gst_chaos_prob)) {
+    delay += params_.pre_gst_extra_ms;
+  }
+  return delay;
+}
+
+void Network::send(NodeId /*from*/, NodeId /*to*/,
+                   std::function<void()> deliver) {
+  ++sent_;
+  if (rng_.chance(params_.loss_prob)) {
+    ++dropped_;
+    return;
+  }
+  queue_->schedule_in(sample_delay(), std::move(deliver));
+}
+
+}  // namespace rfd::rt

@@ -1,0 +1,54 @@
+// The simulated partially synchronous network for the runtime layer.
+//
+// Delays are min_delay + lognormal jitter; messages are lost independently
+// with loss_prob. Before `gst_ms` (the Global Stabilization Time of the
+// partial-synchrony literature) an extra delay penalty applies with
+// probability chaos_prob, modelling the unstable period during which even
+// well-tuned timeouts misfire - precisely the regime that produces the
+// false suspicions the paper's group-membership discussion is about.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "runtime/event_queue.hpp"
+
+namespace rfd::rt {
+
+using NodeId = std::int32_t;
+
+struct NetworkParams {
+  double min_delay_ms = 0.5;
+  double jitter_mu = 0.0;      // lognormal mu of the jitter component (ms)
+  double jitter_sigma = 0.6;   // lognormal sigma
+  double loss_prob = 0.0;
+  double gst_ms = 0.0;         // 0 = stable from the start
+  double pre_gst_extra_ms = 0.0;
+  double pre_gst_chaos_prob = 0.3;
+};
+
+class Network {
+ public:
+  Network(EventQueue& queue, std::uint64_t seed, NetworkParams params);
+
+  /// Sends a message; `deliver` runs at the arrival time unless the
+  /// message is dropped. Delivery respects per-message independent delay
+  /// (no FIFO guarantee, like UDP heartbeats).
+  void send(NodeId from, NodeId to, std::function<void()> deliver);
+
+  /// One sample of the current delay distribution (for analysis).
+  double sample_delay();
+
+  std::int64_t sent() const { return sent_; }
+  std::int64_t dropped() const { return dropped_; }
+
+ private:
+  EventQueue* queue_;
+  Rng rng_;
+  NetworkParams params_;
+  std::int64_t sent_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace rfd::rt

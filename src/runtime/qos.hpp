@@ -1,0 +1,59 @@
+// Chen-Toueg style QoS evaluation of timeout-based detectors (experiment
+// E9).
+//
+// One monitored peer sends heartbeats every interval_ms through the
+// simulated network; one monitor runs a detector instance and is polled on
+// a fine grid. Ground truth (the peer's crash time) yields:
+//   detection_time_ms      - crash -> first suspicion that never retracts;
+//   mistake_rate_per_s     - false S-transitions per second of pre-crash
+//                            runtime (lambda_M);
+//   avg_mistake_duration_ms- mean length of false-suspicion periods (T_M);
+//   query_accuracy         - fraction of pre-crash poll instants with the
+//                            correct "trust" output (P_A).
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "runtime/detectors.hpp"
+#include "runtime/network.hpp"
+
+namespace rfd::rt {
+
+struct QosConfig {
+  DetectorParams detector;
+  NetworkParams network;
+  double heartbeat_interval_ms = 100.0;
+  double duration_ms = 60'000.0;
+  /// Peer crash time; <= 0 or >= duration means the peer never crashes.
+  double crash_at_ms = 40'000.0;
+  double poll_interval_ms = 5.0;
+};
+
+struct QosResult {
+  bool crashed = false;
+  double detection_time_ms = -1.0;  // -1: crash never detected in window
+  std::int64_t false_transitions = 0;
+  double mistake_rate_per_s = 0.0;
+  double avg_mistake_duration_ms = 0.0;
+  double query_accuracy = 1.0;
+  std::int64_t heartbeats_sent = 0;
+  std::int64_t heartbeats_lost = 0;
+};
+
+/// Runs one monitor/peer QoS experiment.
+QosResult run_qos_experiment(const QosConfig& config, std::uint64_t seed);
+
+/// Averages `runs` seeded experiments (seed, seed+1, ...).
+struct QosAggregate {
+  Summary detection_time_ms;
+  Summary mistake_rate_per_s;
+  Summary avg_mistake_duration_ms;
+  Summary query_accuracy;
+  std::int64_t undetected_crashes = 0;
+};
+
+QosAggregate run_qos_sweep(const QosConfig& config, std::uint64_t seed,
+                           int runs);
+
+}  // namespace rfd::rt

@@ -1,0 +1,49 @@
+#include "sim/adversary.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::sim {
+
+RandomAdversary::RandomAdversary(std::uint64_t seed, double lambda_prob)
+    : rng_(seed), lambda_prob_(lambda_prob) {
+  RFD_REQUIRE(lambda_prob >= 0.0 && lambda_prob < 1.0);
+}
+
+ProcessId RandomAdversary::pick_process(const SchedView& /*view*/,
+                                        const ProcessSet& candidates) {
+  const auto members = candidates.members();
+  RFD_REQUIRE(!members.empty());
+  return members[static_cast<std::size_t>(
+      rng_.below(static_cast<std::int64_t>(members.size())))];
+}
+
+MessageId RandomAdversary::pick_message(
+    const SchedView& /*view*/, ProcessId /*p*/,
+    const std::vector<MessageId>& deliverable) {
+  if (deliverable.empty() || rng_.chance(lambda_prob_)) {
+    return kNoMessage;
+  }
+  return deliverable[static_cast<std::size_t>(
+      rng_.below(static_cast<std::int64_t>(deliverable.size())))];
+}
+
+ProcessId RoundRobinAdversary::pick_process(const SchedView& view,
+                                            const ProcessSet& candidates) {
+  RFD_REQUIRE(!candidates.empty());
+  for (ProcessId offset = 0; offset < view.n(); ++offset) {
+    const ProcessId p = static_cast<ProcessId>((next_ + offset) % view.n());
+    if (candidates.contains(p)) {
+      next_ = static_cast<ProcessId>((p + 1) % view.n());
+      return p;
+    }
+  }
+  RFD_UNREACHABLE("no candidate process");
+}
+
+MessageId RoundRobinAdversary::pick_message(
+    const SchedView& /*view*/, ProcessId /*p*/,
+    const std::vector<MessageId>& deliverable) {
+  return deliverable.empty() ? kNoMessage : deliverable.front();
+}
+
+}  // namespace rfd::sim

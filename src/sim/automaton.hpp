@@ -1,0 +1,73 @@
+// Deterministic process automata (Section 2.3).
+//
+// In each step the simulator (1) picks a message m from the buffer or the
+// null message, (2) queries the failure detector module, then (3) lets the
+// automaton change state and send messages. The automaton sees (1) and (2)
+// through the Context and the Incoming pointer; everything it does in (3)
+// goes back through the Context, which records it in the trace.
+//
+// Automata must be deterministic: all nondeterminism in a run comes from
+// the adversary (scheduling) and the oracle (detector history), never from
+// the automaton itself.
+#pragma once
+
+#include "common/serialization.hpp"
+#include "common/types.hpp"
+#include "fd/fd_value.hpp"
+#include "sim/message.hpp"
+
+namespace rfd::sim {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual ProcessId self() const = 0;
+  virtual ProcessId n() const = 0;
+  virtual Tick now() const = 0;
+
+  /// The failure detector value d seen by this step (queried once by the
+  /// simulator before the automaton runs).
+  virtual const fd::FdValue& fd() const = 0;
+
+  /// Sends `payload` to `dst` with explicit "[p is alive]" tags (Section
+  /// 4.3). Ordinary algorithms use send(); only the reduction wrappers
+  /// attach tags.
+  virtual void send_tagged(ProcessId dst, Bytes payload,
+                           const ProcessSet& alive_tags) = 0;
+
+  /// Sends `payload` to `dst` (appears in the buffer immediately; the
+  /// adversary decides when - and for crashed destinations whether - it is
+  /// received).
+  void send(ProcessId dst, Bytes payload) {
+    send_tagged(dst, std::move(payload), ProcessSet(n()));
+  }
+
+  /// Records a decision event for `instance` (consensus-style problems).
+  virtual void decide(InstanceId instance, Value v) = 0;
+
+  /// Records a delivery event for `instance` (broadcast-style problems).
+  virtual void deliver(InstanceId instance, Value v) = 0;
+
+  /// Sends the same payload to every process except (optionally) self.
+  void broadcast(const Bytes& payload, bool include_self = false) {
+    for (ProcessId q = 0; q < n(); ++q) {
+      if (q == self() && !include_self) continue;
+      send(q, payload);
+    }
+  }
+};
+
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  /// The first step of the process (its initial state coming alive). No
+  /// message can be pending yet; the step receives the null message.
+  virtual void on_start(Context& ctx) = 0;
+
+  /// Every subsequent step. `m` is nullptr for the null message lambda.
+  virtual void on_step(Context& ctx, const Incoming* m) = 0;
+};
+
+}  // namespace rfd::sim

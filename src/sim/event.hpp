@@ -1,0 +1,41 @@
+// Events: the steps of a schedule (Section 2.3), as recorded in a trace.
+//
+// A step e = (p_i, m, d, A) is uniquely defined by the process, the message
+// received (or the null message), and the failure detector value seen. The
+// trace additionally records the causal parents - the previous step of the
+// same process and, through the received message, the step that sent it -
+// so the "causal chain of a decision event" used by Lemma 4.1 is a
+// queryable DAG rather than a proof device.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "fd/fd_value.hpp"
+
+namespace rfd::sim {
+
+struct Decision {
+  InstanceId instance;
+  Value value;
+};
+
+struct Delivery {
+  InstanceId instance;
+  Value value;
+};
+
+struct Event {
+  EventId id = kNoEvent;
+  ProcessId process = -1;
+  Tick time = 0;                      // T[k]
+  MessageId received = kNoMessage;    // kNoMessage encodes the null message
+  fd::FdValue fd_value;               // d seen by the process in this step
+  EventId prev_same_process = kNoEvent;
+  std::vector<MessageId> sent;        // messages sent during this step
+  std::vector<Decision> decisions;    // decide() calls made in this step
+  std::vector<Delivery> deliveries;   // deliver() calls made in this step
+  bool is_start = false;              // first step of the process
+};
+
+}  // namespace rfd::sim

@@ -1,0 +1,34 @@
+// Messages in the simulated message buffer (Section 2.3).
+//
+// The payload is opaque bytes (each algorithm defines its own wire format).
+// `alive_tags` carries the "[p_k is alive]" annotations of the T(D->P)
+// reduction (Section 4.3): the simulator transports them untouched; only
+// the reduction wrapper reads or writes them. `send_event` makes the
+// causal-chain structure of a run (Section 4.2) explicit in the trace.
+#pragma once
+
+#include "common/process_set.hpp"
+#include "common/serialization.hpp"
+#include "common/types.hpp"
+
+namespace rfd::sim {
+
+struct Message {
+  MessageId id = kNoMessage;
+  ProcessId src = -1;
+  ProcessId dst = -1;
+  Bytes payload;
+  ProcessSet alive_tags;     // empty universe when unused
+  EventId send_event = kNoEvent;
+  Tick sent_at = 0;
+};
+
+/// What an automaton sees when it receives a (non-null) message.
+struct Incoming {
+  ProcessId src;
+  const Bytes& payload;
+  const ProcessSet& alive_tags;
+  MessageId id;
+};
+
+}  // namespace rfd::sim

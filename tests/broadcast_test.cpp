@@ -1,0 +1,173 @@
+// Reliable and atomic broadcast tests: diffusion guarantees, uniform total
+// order via the consensus reduction, and crash robustness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/broadcast/atomic_broadcast.hpp"
+#include "algo/broadcast/reliable_broadcast.hpp"
+#include "algo/specs.hpp"
+#include "fd/registry.hpp"
+#include "model/environment.hpp"
+#include "sim/simulator.hpp"
+
+namespace rfd::algo {
+namespace {
+
+template <typename Algo>
+sim::Trace run_broadcast(const model::FailurePattern& pattern,
+                         const std::vector<std::vector<ScriptedBroadcast>>&
+                             scripts,
+                         std::uint64_t seed, Tick horizon) {
+  const ProcessId n = pattern.n();
+  const auto oracle = fd::find_detector("P").factory(pattern, seed);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < n; ++p) {
+    automata.push_back(
+        std::make_unique<Algo>(n, scripts[static_cast<std::size_t>(p)]));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(mix_seed(seed, 4)));
+  sim.run_for(horizon);
+  return sim.trace();
+}
+
+std::vector<std::vector<ScriptedBroadcast>> one_message_each(ProcessId n) {
+  std::vector<std::vector<ScriptedBroadcast>> scripts(
+      static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) {
+    scripts[static_cast<std::size_t>(p)].push_back({0, 500 + p});
+  }
+  return scripts;
+}
+
+TEST(ReliableBroadcast, AllCorrectDeliverEverything) {
+  const ProcessId n = 4;
+  const auto pattern = model::all_correct(n);
+  const auto trace =
+      run_broadcast<ReliableBroadcast>(pattern, one_message_each(n), 1, 3000);
+  for (ProcessId p = 0; p < n; ++p) {
+    auto values = std::vector<Value>{};
+    for (const auto& d : trace.deliveries_of_instance(0)) {
+      if (d.process == p) values.push_back(d.value);
+    }
+    std::sort(values.begin(), values.end());
+    EXPECT_EQ(values, (std::vector<Value>{500, 501, 502, 503})) << "p" << p;
+  }
+}
+
+TEST(ReliableBroadcast, RelayCoversCrashedOrigin) {
+  // The origin crashes right after its broadcast step; whoever received it
+  // relays, so every correct process still delivers.
+  const ProcessId n = 4;
+  const auto pattern = model::single_crash(n, 0, 2);
+  const auto trace =
+      run_broadcast<ReliableBroadcast>(pattern, one_message_each(n), 2, 4000);
+  const auto correct = pattern.correct();
+  // Either nobody delivered p0's message (it died before broadcasting) or
+  // all correct processes did - never a partial outcome among correct.
+  int correct_with_500 = 0;
+  correct.for_each([&](ProcessId p) {
+    for (const auto& d : trace.deliveries_of_instance(0)) {
+      if (d.process == p && d.value == 500) {
+        ++correct_with_500;
+        break;
+      }
+    }
+  });
+  EXPECT_TRUE(correct_with_500 == 0 || correct_with_500 == correct.count())
+      << correct_with_500;
+}
+
+TEST(ReliableBroadcast, NoDuplicatesNoInventions) {
+  const ProcessId n = 4;
+  const auto pattern = model::cascade(n, 2, 50, 40);
+  const auto trace =
+      run_broadcast<ReliableBroadcast>(pattern, one_message_each(n), 3, 4000);
+  for (ProcessId p = 0; p < n; ++p) {
+    std::vector<Value> values;
+    for (const auto& d : trace.deliveries_of_instance(0)) {
+      if (d.process == p) values.push_back(d.value);
+    }
+    std::sort(values.begin(), values.end());
+    EXPECT_TRUE(std::adjacent_find(values.begin(), values.end()) ==
+                values.end());
+    for (Value v : values) {
+      EXPECT_GE(v, 500);
+      EXPECT_LT(v, 500 + n);
+    }
+  }
+}
+
+TEST(AtomicBroadcast, UniformTotalOrderAllCorrect) {
+  const ProcessId n = 4;
+  const auto pattern = model::all_correct(n);
+  const auto trace =
+      run_broadcast<AtomicBroadcast>(pattern, one_message_each(n), 4, 20'000);
+  std::vector<Value> all{500, 501, 502, 503};
+  const auto check = check_abcast(trace, 0, all, all);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+  // Everyone delivered everything, in the same order.
+  for (ProcessId p = 0; p < n; ++p) {
+    std::vector<Value> seq;
+    for (const auto& d : trace.deliveries_of_instance(0)) {
+      if (d.process == p) seq.push_back(d.value);
+    }
+    EXPECT_EQ(seq.size(), 4u) << "p" << p;
+  }
+}
+
+TEST(AtomicBroadcast, OrderSurvivesCrashes) {
+  const ProcessId n = 4;
+  const auto pattern = model::single_crash(n, 3, 600);
+  auto scripts = one_message_each(n);
+  const auto trace =
+      run_broadcast<AtomicBroadcast>(pattern, scripts, 5, 24'000);
+  std::vector<Value> all{500, 501, 502, 503};
+  std::vector<Value> by_correct{500, 501, 502};
+  // p3 may or may not have flooded its message before dying; accept both.
+  std::vector<Value> actually_flooded;
+  for (const auto& d : trace.deliveries_of_instance(0)) {
+    if (std::find(actually_flooded.begin(), actually_flooded.end(), d.value) ==
+        actually_flooded.end()) {
+      actually_flooded.push_back(d.value);
+    }
+  }
+  const auto check = check_abcast(trace, 0, by_correct, all);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+}
+
+TEST(AtomicBroadcast, StaggeredBroadcastsKeepOrder) {
+  const ProcessId n = 3;
+  const auto pattern = model::all_correct(n);
+  std::vector<std::vector<ScriptedBroadcast>> scripts(3);
+  scripts[0] = {{0, 900}, {40, 901}, {80, 902}};
+  scripts[1] = {{20, 910}};
+  scripts[2] = {{60, 920}};
+  const auto trace = run_broadcast<AtomicBroadcast>(pattern, scripts, 6,
+                                                    40'000);
+  std::vector<Value> all{900, 901, 902, 910, 920};
+  const auto check = check_abcast(trace, 0, all, all);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+}
+
+TEST(AtomicBroadcast, DeliveryNeedsConsensusRounds) {
+  const ProcessId n = 3;
+  const auto pattern = model::all_correct(n);
+  const auto oracle = fd::find_detector("P").factory(pattern, 7);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  auto scripts = one_message_each(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    automata.push_back(std::make_unique<AtomicBroadcast>(
+        n, scripts[static_cast<std::size_t>(p)]));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(11));
+  sim.run_for(20'000);
+  const auto& ab = dynamic_cast<AtomicBroadcast&>(sim.automaton(0));
+  EXPECT_GE(ab.consensus_rounds(), 3);
+  EXPECT_EQ(ab.delivered().size(), 3u);
+}
+
+}  // namespace
+}  // namespace rfd::algo

@@ -1,0 +1,104 @@
+// Section 6.3 tests: within the realistic space, Strong collapses into
+// Perfect. The executable form: realistic detectors' false suspicions
+// always transfer to the everybody-else-crashes continuation (where they
+// break weak accuracy), so a realistic detector that IS Strong can have no
+// false suspicion at all; the clairvoyant Strong detector escapes only by
+// failing realism.
+#include <gtest/gtest.h>
+
+#include "fd/registry.hpp"
+#include "model/environment.hpp"
+#include "reduction/collapse.hpp"
+
+namespace rfd::red {
+namespace {
+
+constexpr Tick kHorizon = 200;
+
+std::vector<std::uint64_t> seeds() { return {1, 2, 3, 4, 5, 6}; }
+
+std::vector<model::FailurePattern> patterns() {
+  model::PatternSweep sweep(5, 0x63);
+  sweep.with_all_correct()
+      .with_single_crashes({20, 80})
+      .with_random(6, 0, 3, 150);
+  return sweep.patterns();
+}
+
+TEST(FalseSuspicionFinder, FindsAndLocates) {
+  const auto pattern = model::all_correct(4);
+  const auto oracle = fd::find_detector("<>P").factory(pattern, 2);
+  const auto h = fd::sample_history(*oracle, kHorizon);
+  const auto fs = find_false_suspicion(pattern, h);
+  ASSERT_TRUE(fs.found);
+  EXPECT_TRUE(h.suspects(fs.observer, fs.victim, fs.at));
+  EXPECT_TRUE(pattern.is_alive_at(fs.victim, fs.at));
+}
+
+TEST(FalseSuspicionFinder, PerfectHasNone) {
+  for (const auto& pattern : patterns()) {
+    const auto oracle = fd::find_detector("P").factory(pattern, 3);
+    const auto h = fd::sample_history(*oracle, kHorizon);
+    EXPECT_FALSE(find_false_suspicion(pattern, h).found)
+        << pattern.to_string();
+  }
+}
+
+TEST(Collapse, RealisticFalseSuspicionsTransferAndBreakS) {
+  // <>P and <>S are realistic and falsely suspect before convergence; the
+  // Section 6.3 construction must go through every single time: the prefix
+  // transfers to F' and weak accuracy is broken there.
+  for (const std::string detector : {"<>P", "<>S"}) {
+    const auto audit = audit_strong_realistic(
+        fd::find_detector(detector).factory, patterns(), seeds(), kHorizon);
+    EXPECT_GT(audit.with_false_suspicion, 0) << detector;
+    EXPECT_EQ(audit.with_false_suspicion, audit.transfers) << detector;
+    EXPECT_EQ(audit.transfers, audit.weak_accuracy_broken) << detector;
+    EXPECT_TRUE(audit.consistent_with_collapse()) << detector;
+  }
+}
+
+TEST(Collapse, RealisticPerfectDetectorsHaveNothingToTransfer) {
+  for (const std::string detector : {"P", "Scribe", "P<"}) {
+    const auto audit = audit_strong_realistic(
+        fd::find_detector(detector).factory, patterns(), seeds(), kHorizon);
+    EXPECT_GT(audit.histories, 0);
+    EXPECT_EQ(audit.with_false_suspicion, 0) << detector;
+    EXPECT_TRUE(audit.consistent_with_collapse()) << detector;
+  }
+}
+
+TEST(Collapse, CheatingStrongEscapesOnlyByNonRealism) {
+  // S(cheat) falsely suspects, but its prefix does NOT transfer to F' (its
+  // output depends on the future, and the futures differ): it stays Strong
+  // while being unimplementable - the paper's point in reverse.
+  const auto factory = fd::find_detector("S(cheat)").factory;
+  std::int64_t with_false = 0;
+  std::int64_t transfers = 0;
+  for (const auto& pattern : patterns()) {
+    for (std::uint64_t seed : seeds()) {
+      const auto w = collapse_witness(factory, pattern, seed, kHorizon,
+                                      seeds());
+      if (w.has_false_suspicion) ++with_false;
+      if (w.prefix_transfers) ++transfers;
+    }
+  }
+  EXPECT_GT(with_false, 0);
+  EXPECT_LT(transfers, with_false);
+}
+
+TEST(Collapse, WitnessConstructsTheRightPattern) {
+  const auto pattern = model::all_correct(4);
+  const auto w = collapse_witness(fd::find_detector("<>P").factory, pattern,
+                                  2, kHorizon, seeds());
+  ASSERT_TRUE(w.has_false_suspicion);
+  EXPECT_TRUE(w.prefix_transfers);
+  EXPECT_TRUE(w.weak_accuracy_broken_in_f_prime);
+  // F' must mention crashes at t+1.
+  EXPECT_NE(w.f_prime.find("t" + std::to_string(w.suspicion.at + 1)),
+            std::string::npos)
+      << w.f_prime;
+}
+
+}  // namespace
+}  // namespace rfd::red

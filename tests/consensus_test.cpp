@@ -1,0 +1,254 @@
+// Consensus algorithm tests: the S-based algorithm against the realistic
+// (and cheating) Strong detectors under heavy crash sweeps, the rotating
+// coordinator's majority dependence, the Marabout leader rule, and the
+// non-uniformity of the P< chain (Section 6.2).
+#include <gtest/gtest.h>
+
+#include "algo/consensus/cr_chain.hpp"
+#include "algo/consensus/ct_rotating.hpp"
+#include "algo/consensus/ct_strong.hpp"
+#include "algo/consensus/marabout_consensus.hpp"
+#include "algo/specs.hpp"
+#include "fd/registry.hpp"
+#include "model/environment.hpp"
+#include "sim/simulator.hpp"
+
+namespace rfd::algo {
+namespace {
+
+using sim::RandomAdversary;
+using sim::SimConfig;
+using sim::Simulator;
+
+constexpr Tick kHorizon = 8000;
+
+std::vector<Value> proposals(ProcessId n) {
+  std::vector<Value> out;
+  for (ProcessId p = 0; p < n; ++p) out.push_back(100 + p);
+  return out;
+}
+
+template <typename Algo>
+sim::Trace run_with(const std::string& detector,
+                    const model::FailurePattern& pattern, std::uint64_t seed,
+                    SimConfig config = {}, Tick horizon = kHorizon) {
+  const ProcessId n = pattern.n();
+  const auto oracle = fd::find_detector(detector).factory(pattern, seed);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < n; ++p) {
+    automata.push_back(std::make_unique<Algo>(n, 100 + p));
+  }
+  Simulator sim(pattern, *oracle, std::move(automata),
+                std::make_unique<RandomAdversary>(mix_seed(seed, 0xad)),
+                config);
+  sim.run_for(horizon);
+  return sim.trace();
+}
+
+struct SweepCase {
+  std::string detector;
+  std::size_t pattern_index;
+  std::uint64_t seed;
+};
+
+std::vector<model::FailurePattern> crash_sweep(ProcessId n) {
+  model::PatternSweep sweep(n, 0x5117);
+  sweep.with_all_correct()
+      .with_single_crashes({0, 200, 1500})
+      .with_cascades(n - 1, 100, 120)
+      .with_all_but_one(800)
+      .with_random(6, 0, n - 1, 2500);
+  return sweep.patterns();
+}
+
+class CtStrongSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(CtStrongSweep, UniformConsensusHolds) {
+  const auto& c = GetParam();
+  const ProcessId n = 5;
+  const auto patterns = crash_sweep(n);
+  ASSERT_LT(c.pattern_index, patterns.size());
+  const auto& pattern = patterns[c.pattern_index];
+  const auto trace = run_with<CtStrongConsensus>(c.detector, pattern, c.seed);
+  const auto check = check_consensus(trace, 0, proposals(n));
+  EXPECT_TRUE(check.ok_uniform())
+      << c.detector << " on " << pattern.to_string() << ": "
+      << check.to_string();
+}
+
+std::vector<SweepCase> ct_strong_cases() {
+  std::vector<SweepCase> cases;
+  const std::size_t count = crash_sweep(5).size();
+  // Every detector here is in S (P and Scribe are in P ⊂ S; Marabout and
+  // S(cheat) are Strong): the CT-S algorithm must solve *uniform*
+  // consensus with all of them, under any number of crashes.
+  for (const std::string detector : {"P", "Scribe", "Marabout", "S(cheat)"}) {
+    for (std::size_t pi = 0; pi < count; ++pi) {
+      cases.push_back({detector, pi, 0xc0ffee});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Detectors, CtStrongSweep,
+                         ::testing::ValuesIn(ct_strong_cases()),
+                         [](const ::testing::TestParamInfo<SweepCase>& info) {
+                           std::string name =
+                               info.param.detector + "_f" +
+                               std::to_string(info.param.pattern_index);
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(CtRotating, SolvesWithMajorityUnderEventuallyStrong) {
+  const ProcessId n = 5;
+  model::PatternSweep sweep(n, 0xbead);
+  sweep.with_all_correct()
+      .with_single_crashes({0, 500})
+      .with_random(4, 0, (n - 1) / 2, 1500);  // minority crashes only
+  for (const auto& pattern : sweep.patterns()) {
+    const auto trace =
+        run_with<CtRotatingConsensus>("<>S", pattern, 0xfeed, {}, 20'000);
+    const auto check = check_consensus(trace, 0, proposals(n));
+    EXPECT_TRUE(check.ok_uniform())
+        << pattern.to_string() << ": " << check.to_string();
+  }
+}
+
+TEST(CtRotating, BlocksWithoutMajority) {
+  // Half the processes are dead from the start: the rotating coordinator
+  // cannot gather majority estimates and must block - safely. (The crash
+  // must precede the decision; late crashes let the protocol finish.)
+  const ProcessId n = 4;
+  const auto pattern = model::cascade(n, 2, 0, 1);  // 2 of 4 dead at start
+  const auto trace = run_with<CtRotatingConsensus>("<>S", pattern, 0x1dea);
+  const auto check = check_consensus(trace, 0, proposals(n));
+  EXPECT_FALSE(check.termination);
+  EXPECT_TRUE(check.uniform_agreement && check.validity && check.integrity)
+      << check.to_string();
+}
+
+TEST(CtRotating, BlocksEvenWithPerfectDetectorWithoutMajority) {
+  // The majority requirement is the algorithm's, not the detector's: even
+  // P cannot save the rotating coordinator from an n/2 crash.
+  const ProcessId n = 6;
+  const auto pattern = model::cascade(n, 3, 0, 1);
+  const auto trace = run_with<CtRotatingConsensus>("P", pattern, 0x2dea);
+  const auto check = check_consensus(trace, 0, proposals(n));
+  EXPECT_FALSE(check.termination);
+  EXPECT_TRUE(check.uniform_agreement) << check.to_string();
+}
+
+TEST(MaraboutConsensus, SolvesUnderUnboundedCrashes) {
+  // Section 6.1: with M, consensus is solvable even when all but one
+  // process crash - no realistic detector could pull this off with an
+  // algorithm that never exchanges failure information.
+  const ProcessId n = 5;
+  for (ProcessId survivor = 0; survivor < n; ++survivor) {
+    const auto pattern = model::all_but_one_crash(n, survivor, 400);
+    const auto trace =
+        run_with<MaraboutConsensus>("Marabout", pattern, 0x3dea);
+    const auto check = check_consensus(trace, 0, proposals(n));
+    EXPECT_TRUE(check.ok_uniform())
+        << "survivor p" << survivor << ": " << check.to_string();
+    // The decision is the smallest correct process's value.
+    const auto d = trace.decision_of(survivor, 0);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->value, 100 + survivor);
+  }
+}
+
+TEST(MaraboutConsensus, FailsWithRealisticDetector) {
+  // The same leader rule under P: the start-time leader may crash before
+  // broadcasting, leaving the others waiting forever. This is why the
+  // Marabout algorithm does not transfer to the realistic space.
+  const ProcessId n = 4;
+  const auto pattern = model::single_crash(n, 0, 3);  // leader dies early
+  const auto trace = run_with<MaraboutConsensus>("P", pattern, 0x4dea);
+  const auto check = check_consensus(trace, 0, proposals(n));
+  EXPECT_FALSE(check.termination) << check.to_string();
+}
+
+TEST(CrChain, SolvesCorrectRestrictedConsensusUnderSweep) {
+  const ProcessId n = 5;
+  for (const auto& pattern : crash_sweep(n)) {
+    const auto trace = run_with<CrChainConsensus>("P<", pattern, 0x5dea);
+    const auto check = check_consensus(trace, 0, proposals(n));
+    EXPECT_TRUE(check.ok_correct_restricted())
+        << pattern.to_string() << ": " << check.to_string();
+  }
+}
+
+TEST(CrChain, ViolatesUniformAgreementWhenP0DiesAfterDeciding) {
+  // The Section 6.2 scenario: p0 decides its own value immediately (its
+  // decision consults nobody), its round-0 broadcast is delayed past its
+  // crash, and the survivors agree on p1's value instead.
+  const ProcessId n = 4;
+  auto pattern = model::single_crash(n, 0, 30);
+  SimConfig config;
+  config.blocks.push_back({/*src=*/0, /*dst=*/-1, /*until=*/4000});
+  const auto trace =
+      run_with<CrChainConsensus>("P<", pattern, 0x6dea, config);
+  const auto check = check_consensus(trace, 0, proposals(n));
+  EXPECT_TRUE(check.agreement) << check.to_string();    // correct-restricted OK
+  EXPECT_FALSE(check.uniform_agreement) << check.to_string();
+  // p0 decided its own proposal.
+  const auto d0 = trace.decision_of(0, 0);
+  ASSERT_TRUE(d0.has_value());
+  EXPECT_EQ(d0->value, 100);
+  // Survivors decided p1's proposal.
+  const auto d1 = trace.decision_of(1, 0);
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_EQ(d1->value, 101);
+}
+
+TEST(CrChain, CannotReplaceUniformConsensus) {
+  // Sweeping the same scenario family: uniform agreement breaks for SOME
+  // pattern, which is the Section 6.2 separation (P< solves consensus but
+  // not uniform consensus).
+  const ProcessId n = 4;
+  bool uniform_broken = false;
+  for (Tick crash = 10; crash <= 60 && !uniform_broken; crash += 10) {
+    auto pattern = model::single_crash(n, 0, crash);
+    SimConfig config;
+    config.blocks.push_back({0, -1, 4000});
+    const auto trace =
+        run_with<CrChainConsensus>("P<", pattern, crash, config);
+    const auto check = check_consensus(trace, 0, proposals(n));
+    uniform_broken = !check.uniform_agreement;
+  }
+  EXPECT_TRUE(uniform_broken);
+}
+
+TEST(CtStrong, DecidesQuicklyAllCorrect) {
+  const ProcessId n = 5;
+  const auto pattern = model::all_correct(n);
+  const auto trace = run_with<CtStrongConsensus>("P", pattern, 0x7dea);
+  const auto check = check_consensus(trace, 0, proposals(n));
+  ASSERT_TRUE(check.ok_uniform()) << check.to_string();
+  // With nobody suspected, everyone decides the full vector's first
+  // component: p0's proposal.
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto d = trace.decision_of(p, 0);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->value, 100);
+  }
+}
+
+TEST(CtStrong, SurvivorDecidesWhenAllOthersCrashAtStart) {
+  const ProcessId n = 5;
+  const auto pattern = model::all_but_one_crash(n, 3, 0);
+  const auto trace = run_with<CtStrongConsensus>("P", pattern, 0x8dea);
+  const auto check = check_consensus(trace, 0, proposals(n));
+  EXPECT_TRUE(check.ok_uniform()) << check.to_string();
+  const auto d = trace.decision_of(3, 0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->value, 103);  // only its own proposal survives
+}
+
+}  // namespace
+}  // namespace rfd::algo

@@ -1,0 +1,128 @@
+// Determinism tests across every layer: identical seeds must reproduce
+// identical histories, traces, QoS results and membership outcomes. The
+// experiment tables in EXPERIMENTS.md are only citable because of this.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+
+namespace rfd {
+namespace {
+
+TEST(Determinism, OracleHistoriesReplay) {
+  const auto pattern = model::cascade(5, 2, 30, 40);
+  for (const auto& spec : fd::standard_detectors()) {
+    const auto a = fd::sample_history(*spec.factory(pattern, 42), 150);
+    const auto b = fd::sample_history(*spec.factory(pattern, 42), 150);
+    EXPECT_TRUE(a.prefix_equal(b, 149)) << spec.name;
+  }
+}
+
+TEST(Determinism, OracleQueriesAreOrderIndependent) {
+  // H(p, t) must not depend on which queries were issued before: query in
+  // forward and backward tick order and compare.
+  const auto pattern = model::single_crash(4, 2, 50);
+  for (const auto& spec : fd::standard_detectors()) {
+    const auto oracle = spec.factory(pattern, 7);
+    std::vector<fd::FdValue> forward;
+    for (Tick t = 0; t < 100; ++t) forward.push_back(oracle->query(1, t));
+    for (Tick t = 99; t >= 0; --t) {
+      EXPECT_EQ(oracle->query(1, t), forward[static_cast<std::size_t>(t)])
+          << spec.name << " at t=" << t;
+    }
+  }
+}
+
+sim::Trace consensus_trace(std::uint64_t seed) {
+  const auto pattern = model::cascade(5, 2, 100, 150);
+  const auto oracle = fd::find_detector("P").factory(pattern, seed);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < 5; ++p) {
+    automata.push_back(std::make_unique<algo::CtStrongConsensus>(5, 100 + p));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(seed));
+  sim.run_for(4000);
+  // Digest: every event's identity plus every message's payload bytes.
+  sim::Trace trace = sim.trace();
+  return trace;
+}
+
+std::string trace_digest(const sim::Trace& trace) {
+  std::string out;
+  for (EventId e = 0; e < trace.num_events(); ++e) {
+    const auto& ev = trace.event(e);
+    out += std::to_string(ev.process) + "." + std::to_string(ev.time) + "." +
+           std::to_string(ev.received) + ";";
+  }
+  for (MessageId m = 0; m < trace.num_messages(); ++m) {
+    const auto& msg = trace.message(m);
+    out += std::to_string(msg.src) + ">" + std::to_string(msg.dst) + ":" +
+           std::to_string(msg.payload.size()) + ";";
+  }
+  for (const auto& d : trace.decisions()) {
+    out += "d" + std::to_string(d.process) + "=" + std::to_string(d.value) +
+           "@" + std::to_string(d.time) + ";";
+  }
+  return out;
+}
+
+TEST(Determinism, ConsensusTracesReplayExactly) {
+  EXPECT_EQ(trace_digest(consensus_trace(9)), trace_digest(consensus_trace(9)));
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  EXPECT_NE(trace_digest(consensus_trace(9)), trace_digest(consensus_trace(10)));
+}
+
+TEST(Determinism, QosResultsReplay) {
+  rt::QosConfig config;
+  config.crash_at_ms = 20'000.0;
+  config.duration_ms = 30'000.0;
+  const auto a = rt::run_qos_experiment(config, 5);
+  const auto b = rt::run_qos_experiment(config, 5);
+  EXPECT_EQ(a.detection_time_ms, b.detection_time_ms);
+  EXPECT_EQ(a.false_transitions, b.false_transitions);
+  EXPECT_EQ(a.query_accuracy, b.query_accuracy);
+  EXPECT_EQ(a.heartbeats_sent, b.heartbeats_sent);
+}
+
+TEST(Determinism, MembershipReplay) {
+  rt::MembershipConfig config;
+  config.n = 5;
+  config.crash_at_ms = std::vector<double>(5, -1.0);
+  config.crash_at_ms[2] = 8'000.0;
+  config.duration_ms = 20'000.0;
+  const auto a = rt::run_membership_experiment(config, 3);
+  const auto b = rt::run_membership_experiment(config, 3);
+  EXPECT_EQ(a.exclusions, b.exclusions);
+  EXPECT_EQ(a.false_exclusions, b.false_exclusions);
+  EXPECT_EQ(a.final_view, b.final_view);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+TEST(Determinism, SolvabilityVerdictsReplay) {
+  const auto patterns = core::standard_patterns(4, 3, 1, 800, 2);
+  core::EvalConfig config;
+  config.horizon = 4000;
+  config.schedule_seeds = 1;
+  const auto a = core::evaluate_algorithm(
+      fd::find_detector("P"), core::AlgoKind::kCtStrong,
+      core::SpecKind::kUniformConsensus, patterns, config);
+  const auto b = core::evaluate_algorithm(
+      fd::find_detector("P"), core::AlgoKind::kCtStrong,
+      core::SpecKind::kUniformConsensus, patterns, config);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.runs, b.runs);
+}
+
+TEST(Determinism, PatternSweepsReplay) {
+  const auto a = core::standard_patterns(6, 5, 77, 1000, 8);
+  const auto b = core::standard_patterns(6, 5, 77, 1000, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rfd

@@ -1,0 +1,226 @@
+// Class-property tests for the detector zoo: each oracle must satisfy the
+// axioms of its class (and *fail* the axioms of the stronger classes that
+// separate it) across a parameterized sweep of failure patterns and seeds.
+#include <gtest/gtest.h>
+
+#include "fd/eventually_perfect.hpp"
+#include "fd/eventually_strong.hpp"
+#include "fd/history.hpp"
+#include "fd/marabout.hpp"
+#include "fd/partially_perfect.hpp"
+#include "fd/perfect.hpp"
+#include "fd/properties.hpp"
+#include "fd/registry.hpp"
+#include "fd/scribe.hpp"
+#include "model/environment.hpp"
+
+namespace rfd::fd {
+namespace {
+
+constexpr Tick kHorizon = 240;
+constexpr Tick kSuffix = 40;
+
+std::vector<model::FailurePattern> test_patterns(ProcessId n) {
+  model::PatternSweep sweep(n, 0xabc);
+  sweep.with_all_correct()
+      .with_single_crashes({0, 30, 90})
+      .with_cascades(n - 1, 20, 15)
+      .with_all_but_one(60)
+      .with_random(8, 0, n - 1, 150);
+  return sweep.patterns();
+}
+
+struct Case {
+  std::string detector;
+  std::size_t pattern_index;
+  std::uint64_t seed;
+};
+
+class DetectorAxioms : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DetectorAxioms, SatisfiesItsClass) {
+  const Case c = GetParam();
+  const ProcessId n = 5;
+  const auto patterns = test_patterns(n);
+  ASSERT_LT(c.pattern_index, patterns.size());
+  const auto& pattern = patterns[c.pattern_index];
+  const DetectorSpec& spec = find_detector(c.detector);
+  const auto oracle = spec.factory(pattern, c.seed);
+  const History h = sample_history(*oracle, kHorizon);
+  const Classification cls = classify(pattern, h, kSuffix);
+
+  if (c.detector == "P" || c.detector == "Scribe") {
+    EXPECT_TRUE(cls.perfect) << strong_completeness(pattern, h).detail
+                             << strong_accuracy(pattern, h).detail;
+    EXPECT_TRUE(cls.strong);
+    EXPECT_TRUE(cls.eventually_perfect);
+    EXPECT_TRUE(cls.eventually_strong);
+  } else if (c.detector == "<>P") {
+    EXPECT_TRUE(cls.eventually_perfect)
+        << eventual_strong_accuracy(pattern, h, kSuffix).detail;
+    EXPECT_TRUE(cls.eventually_strong);
+  } else if (c.detector == "<>S") {
+    EXPECT_TRUE(cls.eventually_strong)
+        << eventual_weak_accuracy(pattern, h, kSuffix).detail;
+  } else if (c.detector == "P<") {
+    EXPECT_TRUE(cls.partially_perfect)
+        << partial_completeness(pattern, h).detail
+        << strong_accuracy(pattern, h).detail;
+  } else if (c.detector == "Omega") {
+    // The suspect-all-but-leader embedding of the leader oracle is <>S.
+    EXPECT_TRUE(cls.eventually_strong)
+        << eventual_weak_accuracy(pattern, h, kSuffix).detail;
+    EXPECT_FALSE(cls.perfect);
+  } else if (c.detector == "Marabout") {
+    // M is Strong and Eventually Perfect (it suspects exactly the faulty
+    // set from time zero).
+    EXPECT_TRUE(cls.strong) << weak_accuracy(pattern, h).detail;
+    EXPECT_TRUE(cls.eventually_perfect);
+  } else if (c.detector == "S(cheat)") {
+    EXPECT_TRUE(cls.strong) << strong_completeness(pattern, h).detail
+                            << weak_accuracy(pattern, h).detail;
+  }
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  const std::size_t pattern_count = test_patterns(5).size();
+  for (const auto& spec : standard_detectors()) {
+    for (std::size_t pi = 0; pi < pattern_count; ++pi) {
+      for (std::uint64_t seed : {11u, 12u}) {
+        cases.push_back({spec.name, pi, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, DetectorAxioms, ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           std::string name = info.param.detector + "_f" +
+                                              std::to_string(
+                                                  info.param.pattern_index) +
+                                              "_s" +
+                                              std::to_string(info.param.seed);
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// --- separations: the weaker classes genuinely are weaker -----------------
+
+TEST(DetectorSeparations, EventuallyPerfectIsNotPerfect) {
+  // Pre-convergence churn must produce at least one false suspicion on an
+  // all-correct pattern for *some* seed.
+  const auto pattern = model::all_correct(5);
+  bool ever_false = false;
+  for (std::uint64_t seed = 0; seed < 8 && !ever_false; ++seed) {
+    EventuallyPerfectOracle oracle(pattern, seed);
+    const History h = sample_history(oracle, kHorizon);
+    ever_false = !strong_accuracy(pattern, h).ok;
+  }
+  EXPECT_TRUE(ever_false);
+}
+
+TEST(DetectorSeparations, EventuallyStrongIsNotEventuallyPerfect) {
+  // <>S keeps falsely suspecting non-immune alive processes forever, so
+  // eventual strong accuracy must fail for some seed even on long windows.
+  const auto pattern = model::all_correct(5);
+  bool esa_fails = false;
+  for (std::uint64_t seed = 0; seed < 8 && !esa_fails; ++seed) {
+    EventuallyStrongOracle oracle(pattern, seed);
+    const History h = sample_history(oracle, 600);
+    esa_fails = !eventual_strong_accuracy(pattern, h, kSuffix).ok;
+  }
+  EXPECT_TRUE(esa_fails);
+}
+
+TEST(DetectorSeparations, PartiallyPerfectIsNotComplete) {
+  // If the largest-id process crashes, nobody ever suspects it: P< lacks
+  // even weak completeness in general.
+  const auto pattern = model::single_crash(5, 4, 30);
+  PartiallyPerfectOracle oracle(pattern, 3);
+  const History h = sample_history(oracle, kHorizon);
+  EXPECT_FALSE(weak_completeness(pattern, h).ok);
+  EXPECT_TRUE(strong_accuracy(pattern, h).ok);
+}
+
+TEST(DetectorSeparations, MaraboutViolatesStrongAccuracy) {
+  // M suspects the faulty process long before it crashes: accurate about
+  // the future, wrong about the past.
+  const auto pattern = model::single_crash(5, 2, 100);
+  MaraboutOracle oracle(pattern, 0);
+  const History h = sample_history(oracle, kHorizon);
+  EXPECT_FALSE(strong_accuracy(pattern, h).ok);
+  EXPECT_TRUE(h.suspects(0, 2, 0));  // suspected at time zero
+}
+
+TEST(DetectorSeparations, CheatingStrongViolatesStrongAccuracy) {
+  const auto pattern = model::all_correct(5);
+  bool violates = false;
+  for (std::uint64_t seed = 0; seed < 8 && !violates; ++seed) {
+    const auto& spec = find_detector("S(cheat)");
+    const auto oracle = spec.factory(pattern, seed);
+    const History h = sample_history(*oracle, kHorizon);
+    violates = !strong_accuracy(pattern, h).ok;
+  }
+  EXPECT_TRUE(violates);
+}
+
+TEST(PerfectOracle, DetectionDelayIsBounded) {
+  const auto pattern = model::single_crash(4, 1, 50);
+  PerfectParams params;
+  params.min_detection_delay = 2;
+  params.max_detection_delay = 6;
+  PerfectOracle oracle(pattern, 7, params);
+  const History h = sample_history(oracle, 120);
+  for (ProcessId obs = 0; obs < 4; ++obs) {
+    EXPECT_FALSE(h.suspects(obs, 1, 50 + 1));  // before min delay possible? min=2
+    EXPECT_TRUE(h.suspects(obs, 1, 56));       // after max delay
+    const Tick delay = oracle.detection_delay(obs, 1);
+    EXPECT_GE(delay, 2);
+    EXPECT_LE(delay, 6);
+    EXPECT_EQ(h.suspects(obs, 1, 50 + delay), true);
+    if (delay > 2) {
+      EXPECT_FALSE(h.suspects(obs, 1, 50 + delay - 1));
+    }
+  }
+}
+
+TEST(ScribeOracle, OutputsThePastPattern) {
+  const auto pattern = model::single_crash(4, 2, 40);
+  ScribeOracle oracle(pattern, 0);
+  const FdValue before = oracle.query(0, 39);
+  const FdValue after = oracle.query(0, 41);
+  EXPECT_FALSE(before.suspects.contains(2));
+  EXPECT_TRUE(after.suspects.contains(2));
+  const auto past_before = ScribeOracle::decode_past(before);
+  const auto past_after = ScribeOracle::decode_past(after);
+  EXPECT_EQ(past_before[2], kNever);
+  EXPECT_EQ(past_after[2], 40);
+}
+
+TEST(HistoryBasics, StableSuspicionFrom) {
+  const auto pattern = model::single_crash(3, 0, 10);
+  PerfectParams params;
+  params.min_detection_delay = 0;
+  params.max_detection_delay = 0;
+  PerfectOracle oracle(pattern, 1, params);
+  const History h = sample_history(oracle, 50);
+  EXPECT_EQ(h.stable_suspicion_from(1, 0), 10);
+  EXPECT_EQ(h.stable_suspicion_from(1, 2), kNever);
+}
+
+TEST(Classification, ToStringListsClasses) {
+  Classification c;
+  c.perfect = true;
+  c.strong = true;
+  EXPECT_EQ(c.to_string(), "P,S");
+  EXPECT_EQ(Classification{}.to_string(), "-");
+}
+
+}  // namespace
+}  // namespace rfd::fd

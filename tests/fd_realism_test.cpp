@@ -1,0 +1,97 @@
+// Tests for the realism property (Section 3): the realistic zoo passes the
+// behavioural check, the clairvoyant detectors fail it on the paper's own
+// counterexample pair, and realism is visible structurally through the
+// oracle hierarchy.
+#include <gtest/gtest.h>
+
+#include "fd/marabout.hpp"
+#include "fd/realism.hpp"
+#include "fd/registry.hpp"
+#include "model/environment.hpp"
+
+namespace rfd::fd {
+namespace {
+
+std::vector<std::uint64_t> seeds() { return {1, 2, 3, 4, 5, 6, 7, 8}; }
+
+class RealismSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RealismSuite, BehaviouralCheckMatchesConstruction) {
+  const DetectorSpec& spec = find_detector(GetParam());
+  const RealismReport report = check_realism_suite(spec.factory, 5, seeds());
+  EXPECT_EQ(report.realistic, spec.realistic) << report.counterexample;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, RealismSuite,
+                         ::testing::Values("P", "Scribe", "<>P", "<>S", "P<",
+                                           "Omega", "Marabout", "S(cheat)"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Realism, MaraboutFailsThePaperPair) {
+  // Section 3.2.2 verbatim: F1 = p0 crashes at 10, F2 = all correct. Up to
+  // t=9 the patterns agree, but M(F1) says {p0} from time 0 while every
+  // history of M(F2) says {} - no prefix can match.
+  const auto f1 = model::single_crash(4, 0, 10);
+  const auto f2 = model::all_correct(4);
+  const auto report = check_realism_pair(make_marabout_factory(), f1, f2,
+                                         /*agree_until=*/9, seeds());
+  EXPECT_FALSE(report.realistic);
+  EXPECT_FALSE(report.counterexample.empty());
+}
+
+TEST(Realism, PerfectPassesThePaperPair) {
+  const auto f1 = model::single_crash(4, 0, 10);
+  const auto f2 = model::all_correct(4);
+  const auto report = check_realism_pair(find_detector("P").factory, f1, f2,
+                                         /*agree_until=*/9, seeds());
+  EXPECT_TRUE(report.realistic) << report.counterexample;
+}
+
+TEST(Realism, IdenticalPatternsAlwaysPass) {
+  // F agrees with itself up to any time; every detector (even M) must pass.
+  const auto f = model::single_crash(4, 1, 20);
+  for (const auto& spec : standard_detectors()) {
+    const auto report =
+        check_realism_pair(spec.factory, f, f, /*agree_until=*/50, seeds());
+    EXPECT_TRUE(report.realistic) << spec.name << ": "
+                                  << report.counterexample;
+  }
+}
+
+TEST(Realism, StructuralFlagMatchesRegistry) {
+  const auto pattern = model::all_correct(4);
+  for (const auto& spec : standard_detectors()) {
+    const auto oracle = spec.factory(pattern, 1);
+    EXPECT_EQ(oracle->realistic_by_construction(), spec.realistic)
+        << spec.name;
+  }
+}
+
+TEST(Realism, RealisticOutputsDependOnlyOnPrefix) {
+  // Direct witness of the definition: with the same seed, a realistic
+  // oracle produces identical outputs on two patterns while they agree.
+  const auto f1 = model::single_crash(5, 2, 60);
+  const auto f2 = model::all_correct(5);
+  for (const auto& spec : standard_detectors()) {
+    if (!spec.realistic) continue;
+    const auto o1 = spec.factory(f1, 9);
+    const auto o2 = spec.factory(f2, 9);
+    for (ProcessId p = 0; p < 5; ++p) {
+      for (Tick t = 0; t < 60; ++t) {
+        ASSERT_EQ(o1->query(p, t), o2->query(p, t))
+            << spec.name << " diverged before the patterns did";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfd::fd

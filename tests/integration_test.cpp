@@ -1,0 +1,102 @@
+// End-to-end integration: the collapse pipeline (a detector that solves
+// consensus -> T(D->P) -> emulated P -> TRB on top of the emulation), and
+// trace validation across the whole stack.
+#include <gtest/gtest.h>
+
+#include "algo/specs.hpp"
+#include "algo/trb/trb.hpp"
+#include "fd/registry.hpp"
+#include "model/environment.hpp"
+#include "reduction/emulation.hpp"
+#include "sim/simulator.hpp"
+
+namespace rfd {
+namespace {
+
+TEST(CollapsePipeline, TrbRunsOnEmulatedPerfectDetector) {
+  // The paper's punchline as a program: the consumer TRB never sees the
+  // real oracle - only output(P) from the reduction - and still satisfies
+  // its spec. Realistic D solving consensus => P => TRB.
+  const ProcessId n = 4;
+  const Value msg = 31337;
+  model::PatternSweep sweep(n, 0x17);
+  sweep.with_all_correct().with_single_crashes({0, 2000});
+  for (const auto& pattern : sweep.patterns()) {
+    const auto oracle = fd::find_detector("P").factory(pattern, 3);
+    std::vector<std::unique_ptr<sim::Automaton>> automata;
+    for (ProcessId p = 0; p < n; ++p) {
+      automata.push_back(std::make_unique<red::EmulatedFdStack>(
+          n, red::ConsensusToP::ct_strong_factory(n), /*instances=*/40,
+          [n, msg](ProcessId) {
+            return std::make_unique<algo::TrbAutomaton>(n, /*sender=*/1, msg);
+          },
+          /*reduction_gap=*/200));
+    }
+    sim::Simulator sim(pattern, *oracle, std::move(automata),
+                       std::make_unique<sim::RandomAdversary>(0x99));
+    sim.run_for(30'000);
+
+    const auto check = algo::check_trb(sim.trace(), 0, /*sender=*/1, msg);
+    EXPECT_TRUE(check.ok()) << pattern.to_string() << ": "
+                            << check.to_string();
+  }
+}
+
+TEST(CollapsePipeline, EmulatedDetectorSeesTheCrash) {
+  // Sender p1 crashes mid-run: the reduction must eventually feed the
+  // suspicion to the TRB consumer, which then delivers nil everywhere.
+  const ProcessId n = 4;
+  const Value msg = 777;
+  const auto pattern = model::single_crash(n, 1, 100);
+  const auto oracle = fd::find_detector("P").factory(pattern, 5);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < n; ++p) {
+    automata.push_back(std::make_unique<red::EmulatedFdStack>(
+        n, red::ConsensusToP::ct_strong_factory(n), 40,
+        [n, msg](ProcessId) {
+          return std::make_unique<algo::TrbAutomaton>(n, /*sender=*/1, msg);
+        },
+        /*reduction_gap=*/200));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(0x77));
+  sim.run_for(30'000);
+
+  const auto check = algo::check_trb(sim.trace(), 0, 1, msg);
+  EXPECT_TRUE(check.agreement && check.integrity) << check.to_string();
+  pattern.correct().for_each([&](ProcessId p) {
+    const auto d = sim.trace().delivery_of(p, 0);
+    ASSERT_TRUE(d.has_value()) << "p" << p;
+  });
+  // The emulation at some survivor must have suspected p1.
+  bool suspected = false;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!pattern.correct().contains(p)) continue;
+    const auto& stack = dynamic_cast<red::EmulatedFdStack&>(sim.automaton(p));
+    suspected = suspected || stack.reduction().output().contains(1);
+  }
+  EXPECT_TRUE(suspected);
+}
+
+TEST(FullStack, TracesValidateAcrossAlgorithms) {
+  // Every recorded run must satisfy the model's run conditions against the
+  // oracle that produced it.
+  const ProcessId n = 4;
+  const auto pattern = model::cascade(n, 2, 150, 200);
+  for (const std::string detector : {"P", "<>P", "<>S", "P<"}) {
+    const auto oracle = fd::find_detector(detector).factory(pattern, 11);
+    std::vector<std::unique_ptr<sim::Automaton>> automata;
+    for (ProcessId p = 0; p < n; ++p) {
+      automata.push_back(std::make_unique<red::ConsensusToP>(
+          n, red::ConsensusToP::ct_strong_factory(n), 6));
+    }
+    sim::Simulator sim(pattern, *oracle, std::move(automata),
+                       std::make_unique<sim::RandomAdversary>(0xabc));
+    sim.run_for(6000);
+    const auto result = sim.trace().validate(*oracle);
+    EXPECT_TRUE(result.ok) << detector << ": " << result.detail;
+  }
+}
+
+}  // namespace
+}  // namespace rfd

@@ -1,0 +1,126 @@
+// Tests for the formal model: failure patterns, pattern agreement (the
+// similarity notion of the realism definition), views, and environments.
+#include <gtest/gtest.h>
+
+#include "model/environment.hpp"
+#include "model/failure_pattern.hpp"
+
+namespace rfd::model {
+namespace {
+
+TEST(FailurePattern, CrashSetsAreMonotone) {
+  FailurePattern f(5);
+  f.crash_at(1, 10);
+  f.crash_at(3, 20);
+  EXPECT_EQ(f.crashed_by(5), ProcessSet(5));
+  EXPECT_EQ(f.crashed_by(10), ProcessSet::of(5, {1}));
+  EXPECT_EQ(f.crashed_by(19), ProcessSet::of(5, {1}));
+  EXPECT_EQ(f.crashed_by(20), ProcessSet::of(5, {1, 3}));
+  EXPECT_EQ(f.crashed_by(1'000'000), ProcessSet::of(5, {1, 3}));
+}
+
+TEST(FailurePattern, CorrectAndFaulty) {
+  FailurePattern f(4);
+  f.crash_at(0, 3);
+  EXPECT_EQ(f.correct(), ProcessSet::of(4, {1, 2, 3}));
+  EXPECT_EQ(f.faulty(), ProcessSet::of(4, {0}));
+  EXPECT_EQ(f.num_faulty(), 1);
+}
+
+TEST(FailurePattern, AliveAt) {
+  FailurePattern f(3);
+  f.crash_at(2, 7);
+  EXPECT_TRUE(f.is_alive_at(2, 6));
+  EXPECT_FALSE(f.is_alive_at(2, 7));  // no action at or after the crash tick
+  EXPECT_EQ(f.alive_at(7), ProcessSet::of(3, {0, 1}));
+}
+
+TEST(FailurePattern, AgreementUpToTime) {
+  // The paper's Section 3.2.2 example: F1 has p0 crash at 10, F2 is all
+  // correct; they agree up to 9 and disagree from 10 on.
+  const FailurePattern f1 = single_crash(4, 0, 10);
+  const FailurePattern f2 = all_correct(4);
+  EXPECT_TRUE(f1.agrees_up_to(f2, 9));
+  EXPECT_FALSE(f1.agrees_up_to(f2, 10));
+  EXPECT_EQ(f1.divergence_tick(f2), 10);
+  EXPECT_EQ(f1.divergence_tick(f1), kNever);
+}
+
+TEST(FailurePattern, AgreementWithDifferentCrashTimes) {
+  FailurePattern a(3), b(3);
+  a.crash_at(1, 50);
+  b.crash_at(1, 60);
+  EXPECT_TRUE(a.agrees_up_to(b, 49));
+  EXPECT_FALSE(a.agrees_up_to(b, 50));
+}
+
+TEST(PastView, RefusesTheFuture) {
+  const FailurePattern f = single_crash(3, 0, 10);
+  PastView view(f, 5);
+  EXPECT_EQ(view.crashed_by(5).count(), 0);
+  EXPECT_EQ(view.crash_tick_if_past(0), kNever);  // not crashed *yet*
+  EXPECT_DEATH(view.crashed_by(6), "future");
+}
+
+TEST(PastView, SeesThePast) {
+  const FailurePattern f = single_crash(3, 0, 10);
+  PastView view(f, 20);
+  EXPECT_TRUE(view.has_crashed_by(0, 15));
+  EXPECT_EQ(view.crash_tick_if_past(0), 10);
+  EXPECT_EQ(view.crashed_by(20), ProcessSet::of(3, {0}));
+}
+
+TEST(FullView, SeesTheFuture) {
+  const FailurePattern f = single_crash(3, 0, 10);
+  FullView view(f);
+  EXPECT_EQ(view.faulty(), ProcessSet::of(3, {0}));
+  EXPECT_EQ(view.correct(), ProcessSet::of(3, {1, 2}));
+}
+
+TEST(Environment, AllButOne) {
+  const FailurePattern f = all_but_one_crash(5, 2, 30);
+  EXPECT_EQ(f.correct(), ProcessSet::of(5, {2}));
+  EXPECT_EQ(f.crashed_by(30).count(), 4);
+  EXPECT_EQ(f.crashed_by(29).count(), 0);
+}
+
+TEST(Environment, Cascade) {
+  const FailurePattern f = cascade(6, 3, 10, 5);
+  EXPECT_EQ(f.crash_tick(0), 10);
+  EXPECT_EQ(f.crash_tick(1), 15);
+  EXPECT_EQ(f.crash_tick(2), 20);
+  EXPECT_EQ(f.crash_tick(3), kNever);
+}
+
+TEST(Environment, RandomCrashesCount) {
+  Rng rng(5);
+  for (ProcessId k = 0; k <= 4; ++k) {
+    const FailurePattern f = random_crashes(4, k, 100, rng);
+    EXPECT_EQ(f.num_faulty(), k);
+  }
+}
+
+TEST(Environment, SweepComposition) {
+  PatternSweep sweep(4, 99);
+  sweep.with_all_correct()
+      .with_single_crashes({0, 10})
+      .with_all_but_one(20)
+      .with_random(5, 1, 3, 50);
+  // 1 + 4*2 + 4 + 5
+  EXPECT_EQ(sweep.patterns().size(), 18u);
+  for (const auto& f : sweep.patterns()) {
+    EXPECT_EQ(f.n(), 4);
+  }
+}
+
+TEST(Environment, SweepIsDeterministic) {
+  PatternSweep a(5, 123), b(5, 123);
+  a.with_random(10, 0, 4, 100);
+  b.with_random(10, 0, 4, 100);
+  for (std::size_t i = 0; i < a.patterns().size(); ++i) {
+    EXPECT_TRUE(a.patterns()[i] == b.patterns()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rfd::model

@@ -1,0 +1,220 @@
+// Negative-path tests for the specification checkers: deliberately broken
+// automatons must be caught. The experiment verdicts in E1-E10 are only as
+// trustworthy as these checkers, so each property gets a violating witness.
+#include <gtest/gtest.h>
+
+#include "algo/specs.hpp"
+#include "fd/perfect.hpp"
+#include "model/environment.hpp"
+#include "sim/simulator.hpp"
+
+namespace rfd::algo {
+namespace {
+
+/// Decides its own proposal immediately: violates uniform AND
+/// correct-restricted agreement whenever proposals differ.
+class Egoist final : public sim::Automaton {
+ public:
+  Egoist(ProcessId /*n*/, Value proposal) : proposal_(proposal) {}
+  void on_start(sim::Context& ctx) override { ctx.decide(0, proposal_); }
+  void on_step(sim::Context&, const sim::Incoming*) override {}
+
+ private:
+  Value proposal_;
+};
+
+/// Decides twice: violates integrity.
+class DoubleDecider final : public sim::Automaton {
+ public:
+  DoubleDecider(ProcessId /*n*/, Value proposal) : proposal_(proposal) {}
+  void on_start(sim::Context& ctx) override {
+    ctx.decide(0, proposal_);
+    ctx.decide(0, proposal_);
+  }
+  void on_step(sim::Context&, const sim::Incoming*) override {}
+
+ private:
+  Value proposal_;
+};
+
+/// Never decides: violates termination.
+class Mute final : public sim::Automaton {
+ public:
+  Mute(ProcessId, Value) {}
+  void on_start(sim::Context&) override {}
+  void on_step(sim::Context&, const sim::Incoming*) override {}
+};
+
+/// Decides a value nobody proposed: violates validity.
+class Inventor final : public sim::Automaton {
+ public:
+  Inventor(ProcessId, Value) {}
+  void on_start(sim::Context& ctx) override { ctx.decide(0, 999'999); }
+  void on_step(sim::Context&, const sim::Incoming*) override {}
+};
+
+/// TRB automaton that delivers its own id: breaks agreement and integrity.
+class RogueTrb final : public sim::Automaton {
+ public:
+  RogueTrb(ProcessId, Value) {}
+  void on_start(sim::Context& ctx) override {
+    ctx.deliver(0, 5000 + ctx.self());
+  }
+  void on_step(sim::Context&, const sim::Incoming*) override {}
+};
+
+/// Abcast automaton delivering in id-flipped order: breaks total order.
+class Disorderly final : public sim::Automaton {
+ public:
+  Disorderly(ProcessId, Value) {}
+  void on_start(sim::Context& ctx) override {
+    if (ctx.self() % 2 == 0) {
+      ctx.deliver(0, 1);
+      ctx.deliver(0, 2);
+    } else {
+      ctx.deliver(0, 2);
+      ctx.deliver(0, 1);
+    }
+  }
+  void on_step(sim::Context&, const sim::Incoming*) override {}
+};
+
+template <typename Algo>
+sim::Trace run_broken(const model::FailurePattern& pattern) {
+  const ProcessId n = pattern.n();
+  fd::PerfectOracle oracle(pattern, 1);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < n; ++p) {
+    automata.push_back(std::make_unique<Algo>(n, 100 + p));
+  }
+  sim::Simulator sim(pattern, oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(2));
+  sim.run_for(500);
+  return sim.trace();
+}
+
+const std::vector<Value> kProposals{100, 101, 102, 103};
+
+TEST(NegativeSpecs, EgoistBreaksAgreement) {
+  const auto trace = run_broken<Egoist>(model::all_correct(4));
+  const auto check = check_consensus(trace, 0, kProposals);
+  EXPECT_FALSE(check.uniform_agreement);
+  EXPECT_FALSE(check.agreement);
+  EXPECT_TRUE(check.termination);
+  EXPECT_TRUE(check.validity);
+  EXPECT_TRUE(check.integrity);
+  EXPECT_FALSE(check.ok_uniform());
+  EXPECT_FALSE(check.ok_correct_restricted());
+}
+
+TEST(NegativeSpecs, EgoistAgreementIsCorrectRestricted) {
+  // When all but one process crash before stepping, the lone Egoist's
+  // decision cannot disagree with anyone: the checker must pass agreement.
+  const auto trace = run_broken<Egoist>(model::all_but_one_crash(4, 2, 0));
+  const auto check = check_consensus(trace, 0, kProposals);
+  EXPECT_TRUE(check.agreement) << check.to_string();
+  EXPECT_TRUE(check.uniform_agreement) << check.to_string();
+}
+
+TEST(NegativeSpecs, DoubleDeciderBreaksIntegrity) {
+  const auto trace = run_broken<DoubleDecider>(model::all_correct(4));
+  const auto check = check_consensus(trace, 0, kProposals);
+  EXPECT_FALSE(check.integrity);
+}
+
+TEST(NegativeSpecs, MuteBreaksTermination) {
+  const auto trace = run_broken<Mute>(model::all_correct(4));
+  const auto check = check_consensus(trace, 0, kProposals);
+  EXPECT_FALSE(check.termination);
+  EXPECT_TRUE(check.uniform_agreement);  // vacuously
+  EXPECT_TRUE(check.integrity);
+}
+
+TEST(NegativeSpecs, InventorBreaksValidity) {
+  const auto trace = run_broken<Inventor>(model::all_correct(4));
+  const auto check = check_consensus(trace, 0, kProposals);
+  EXPECT_FALSE(check.validity);
+}
+
+TEST(NegativeSpecs, RogueTrbBreaksAgreementAndIntegrity) {
+  const auto trace = run_broken<RogueTrb>(model::all_correct(4));
+  const auto check = check_trb(trace, 0, /*sender=*/0, /*value=*/5000);
+  EXPECT_FALSE(check.agreement);
+  EXPECT_FALSE(check.integrity);  // delivered values nobody broadcast
+}
+
+TEST(NegativeSpecs, TrbNilForCorrectSenderBreaksValidity) {
+  // A fleet that always delivers nil while the sender is correct.
+  class NilDeliverer final : public sim::Automaton {
+   public:
+    NilDeliverer(ProcessId, Value) {}
+    void on_start(sim::Context& ctx) override { ctx.deliver(0, kNilValue); }
+    void on_step(sim::Context&, const sim::Incoming*) override {}
+  };
+  const auto trace = run_broken<NilDeliverer>(model::all_correct(4));
+  const auto check = check_trb(trace, 0, /*sender=*/0, /*value=*/42);
+  EXPECT_FALSE(check.validity);
+  EXPECT_TRUE(check.agreement);  // everyone delivered the same nil
+}
+
+TEST(NegativeSpecs, DisorderlyBreaksTotalOrder) {
+  const auto trace = run_broken<Disorderly>(model::all_correct(4));
+  const auto check = check_abcast(trace, 0, /*by_correct=*/{1, 2},
+                                  /*all=*/{1, 2});
+  EXPECT_FALSE(check.total_order);
+  EXPECT_FALSE(check.agreement);
+  EXPECT_TRUE(check.integrity);
+}
+
+TEST(NegativeSpecs, AbcastMissingValueBreaksValidity) {
+  class Partial final : public sim::Automaton {
+   public:
+    Partial(ProcessId, Value) {}
+    void on_start(sim::Context& ctx) override {
+      if (ctx.self() == 0) ctx.deliver(0, 1);  // only p0 delivers
+    }
+    void on_step(sim::Context&, const sim::Incoming*) override {}
+  };
+  const auto trace = run_broken<Partial>(model::all_correct(3));
+  const auto check = check_abcast(trace, 0, {1}, {1});
+  EXPECT_FALSE(check.validity);
+  EXPECT_FALSE(check.agreement);
+}
+
+TEST(NegativeSpecs, DuplicateDeliveryBreaksAbcastIntegrity) {
+  class Duplicator final : public sim::Automaton {
+   public:
+    Duplicator(ProcessId, Value) {}
+    void on_start(sim::Context& ctx) override {
+      ctx.deliver(0, 1);
+      ctx.deliver(0, 1);
+    }
+    void on_step(sim::Context&, const sim::Incoming*) override {}
+  };
+  const auto trace = run_broken<Duplicator>(model::all_correct(3));
+  const auto check = check_abcast(trace, 0, {1}, {1});
+  EXPECT_FALSE(check.integrity);
+}
+
+TEST(NegativeSpecs, ValidatorCatchesForeignDetectorValues) {
+  // A trace recorded under one oracle must fail validation against an
+  // oracle with a different seed (condition (3): d = H(p, T[k])).
+  const auto pattern = model::single_crash(4, 1, 30);
+  fd::PerfectParams params;
+  params.min_detection_delay = 0;
+  params.max_detection_delay = 9;
+  fd::PerfectOracle recording(pattern, 1, params);
+  fd::PerfectOracle other(pattern, 2, params);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < 4; ++p) {
+    automata.push_back(std::make_unique<Mute>(4, 0));
+  }
+  sim::Simulator sim(pattern, recording, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(3));
+  sim.run_for(400);
+  EXPECT_TRUE(sim.trace().validate(recording).ok);
+  EXPECT_FALSE(sim.trace().validate(other).ok);
+}
+
+}  // namespace
+}  // namespace rfd::algo

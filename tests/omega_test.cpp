@@ -1,0 +1,123 @@
+// Tests for the Omega leader-oracle extension: leader stability, the <>S
+// embedding, and consensus through the rotating coordinator under a
+// majority - the classical world the paper's unbounded-crash environment
+// is contrasted against.
+#include <gtest/gtest.h>
+
+#include "algo/consensus/ct_rotating.hpp"
+#include "algo/specs.hpp"
+#include "fd/omega.hpp"
+#include "fd/properties.hpp"
+#include "fd/realism.hpp"
+#include "fd/registry.hpp"
+#include "model/environment.hpp"
+#include "sim/simulator.hpp"
+
+namespace rfd::fd {
+namespace {
+
+TEST(Omega, LeaderStabilizesToSmallestCorrect) {
+  const auto pattern = model::cascade(5, 2, 20, 30);  // p0, p1 crash
+  OmegaOracle oracle(pattern, 3);
+  // Long after convergence and the last crash, every observer trusts p2.
+  for (ProcessId obs = 0; obs < 5; ++obs) {
+    for (Tick t = 200; t < 220; ++t) {
+      EXPECT_EQ(oracle.leader(obs, t), 2);
+    }
+  }
+}
+
+TEST(Omega, LeaderNeverADeadProcess) {
+  const auto pattern = model::cascade(5, 3, 10, 10);
+  OmegaOracle oracle(pattern, 7);
+  for (ProcessId obs = 0; obs < 5; ++obs) {
+    for (Tick t = 0; t < 150; ++t) {
+      const ProcessId leader = oracle.leader(obs, t);
+      ASSERT_GE(leader, 0);
+      // The leader guess is always among processes not crashed by t.
+      EXPECT_TRUE(pattern.is_alive_at(leader, t))
+          << "observer " << obs << " trusts dead p" << leader << " at " << t;
+    }
+  }
+}
+
+TEST(Omega, AllCrashedYieldsNoLeader) {
+  model::FailurePattern pattern(3);
+  for (ProcessId p = 0; p < 3; ++p) pattern.crash_at(p, 5);
+  OmegaOracle oracle(pattern, 1);
+  EXPECT_EQ(oracle.leader(0, 50), -1);
+  EXPECT_EQ(oracle.query(0, 50).suspects.count(), 3);
+}
+
+TEST(Omega, EmbeddingSuspectsEveryoneButLeader) {
+  const auto pattern = model::all_correct(4);
+  OmegaOracle oracle(pattern, 5);
+  for (Tick t = 100; t < 110; ++t) {
+    const FdValue v = oracle.query(1, t);
+    const ProcessId leader = OmegaOracle::decode_leader(v);
+    EXPECT_EQ(v.suspects.count(), 3);
+    EXPECT_FALSE(v.suspects.contains(leader));
+  }
+}
+
+TEST(Omega, ClassifiesAsEventuallyStrong) {
+  const auto pattern = model::single_crash(5, 1, 40);
+  OmegaOracle oracle(pattern, 9);
+  const History h = sample_history(oracle, 300);
+  const Classification cls = classify(pattern, h, /*min_suffix=*/40);
+  EXPECT_TRUE(cls.eventually_strong)
+      << eventual_weak_accuracy(pattern, h, 40).detail;
+  EXPECT_FALSE(cls.perfect);     // it suspects live processes forever
+  EXPECT_FALSE(cls.eventually_perfect);
+}
+
+TEST(Omega, PreConvergenceLeadersDisagree) {
+  // The noise is the point: before convergence different observers may
+  // trust different processes (otherwise Omega would be born stable).
+  const auto pattern = model::all_correct(6);
+  bool disagreement = false;
+  for (std::uint64_t seed = 0; seed < 6 && !disagreement; ++seed) {
+    OmegaOracle oracle(pattern, seed);
+    for (Tick t = 0; t < 40 && !disagreement; ++t) {
+      const ProcessId a = oracle.leader(0, t);
+      const ProcessId b = oracle.leader(3, t);
+      disagreement = a != b;
+    }
+  }
+  EXPECT_TRUE(disagreement);
+}
+
+TEST(Omega, RotatingConsensusSolvesWithMajority) {
+  const ProcessId n = 5;
+  model::PatternSweep sweep(n, 0x09e6);
+  sweep.with_all_correct()
+      .with_single_crashes({0, 400})
+      .with_random(4, 0, (n - 1) / 2, 1200);
+  for (const auto& pattern : sweep.patterns()) {
+    const auto oracle = find_detector("Omega").factory(pattern, 11);
+    std::vector<std::unique_ptr<sim::Automaton>> automata;
+    std::vector<Value> proposals;
+    for (ProcessId p = 0; p < n; ++p) {
+      proposals.push_back(100 + p);
+      automata.push_back(
+          std::make_unique<algo::CtRotatingConsensus>(n, 100 + p));
+    }
+    sim::Simulator sim(pattern, *oracle, std::move(automata),
+                       std::make_unique<sim::RandomAdversary>(13));
+    sim.run_for(20'000);
+    const auto check = algo::check_consensus(sim.trace(), 0, proposals);
+    EXPECT_TRUE(check.ok_uniform())
+        << pattern.to_string() << ": " << check.to_string();
+  }
+}
+
+TEST(Omega, IsRealistic) {
+  const auto& spec = find_detector("Omega");
+  EXPECT_TRUE(spec.realistic);
+  const auto report = check_realism_suite(
+      spec.factory, 5, {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_TRUE(report.realistic) << report.counterexample;
+}
+
+}  // namespace
+}  // namespace rfd::fd

@@ -1,0 +1,297 @@
+// Tests for the paper's core results made executable:
+//   Lemma 4.1 - totality of realistic-detector consensus;
+//   Lemma 4.2 - T(D->P) emulates a Perfect detector;
+//   Prop. 5.1 - TRB emulates a Perfect detector;
+// and the negative space: the clairvoyant Strong detector produces
+// non-total decisions and a non-Perfect emulation.
+#include <gtest/gtest.h>
+
+#include "algo/consensus/cr_chain.hpp"
+#include "algo/consensus/ct_rotating.hpp"
+#include "algo/consensus/ct_strong.hpp"
+#include "fd/properties.hpp"
+#include "fd/registry.hpp"
+#include "model/environment.hpp"
+#include "reduction/consensus_to_p.hpp"
+#include "reduction/emulation.hpp"
+#include "reduction/totality.hpp"
+#include "reduction/trb_to_p.hpp"
+#include "sim/simulator.hpp"
+
+namespace rfd::red {
+namespace {
+
+constexpr Tick kHorizon = 10'000;
+
+template <typename Algo>
+sim::Trace run_consensus(const std::string& detector,
+                         const model::FailurePattern& pattern,
+                         std::uint64_t seed, sim::SimConfig config = {}) {
+  const ProcessId n = pattern.n();
+  const auto oracle = fd::find_detector(detector).factory(pattern, seed);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < n; ++p) {
+    automata.push_back(std::make_unique<Algo>(n, 100 + p));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(mix_seed(seed, 9)),
+                     config);
+  sim.run_for(kHorizon);
+  return sim.trace();
+}
+
+// --- Lemma 4.1: totality ---------------------------------------------------
+
+TEST(Totality, CtStrongWithPerfectIsTotal) {
+  model::PatternSweep sweep(5, 0x41);
+  sweep.with_all_correct()
+      .with_single_crashes({0, 300})
+      .with_cascades(4, 100, 150)
+      .with_random(6, 0, 4, 2000);
+  for (const auto& pattern : sweep.patterns()) {
+    const auto trace = run_consensus<algo::CtStrongConsensus>("P", pattern, 7);
+    const auto report = check_totality(trace, 0);
+    EXPECT_TRUE(report.all_total())
+        << pattern.to_string() << ": " << report.example;
+  }
+}
+
+TEST(Totality, CtStrongWithScribeIsTotal) {
+  const auto pattern = model::cascade(5, 2, 200, 100);
+  const auto trace =
+      run_consensus<algo::CtStrongConsensus>("Scribe", pattern, 8);
+  const auto report = check_totality(trace, 0);
+  EXPECT_TRUE(report.all_total()) << report.example;
+}
+
+TEST(Totality, CheatingStrongProducesNonTotalDecisions) {
+  // The clairvoyant S detector falsely suspects live processes, letting
+  // deciders skip them. To expose it, delay every message from the victim
+  // p4 (alive, non-immune): under S(cheat) the others churn-suspect p4,
+  // decide without ever hearing from it - a non-total decision. This is
+  // exactly why Lemma 4.1 needs realism.
+  sim::SimConfig config;
+  config.blocks.push_back({/*src=*/4, /*dst=*/-1, /*until=*/6000});
+  bool non_total_seen = false;
+  for (std::uint64_t seed = 0; seed < 10 && !non_total_seen; ++seed) {
+    const auto pattern = model::all_correct(5);
+    const auto trace = run_consensus<algo::CtStrongConsensus>(
+        "S(cheat)", pattern, seed, config);
+    const auto report = check_totality(trace, 0);
+    non_total_seen = report.non_total_decisions > 0;
+  }
+  EXPECT_TRUE(non_total_seen);
+}
+
+TEST(Totality, RealisticDetectorWaitsOutTheSameDelay) {
+  // The same adversary against the realistic P detector: nobody may skip
+  // the delayed (alive) p4, so every decision waits for its messages and
+  // remains total - the two runs differ only in the detector's realism.
+  sim::SimConfig config;
+  config.blocks.push_back({/*src=*/4, /*dst=*/-1, /*until=*/6000});
+  const auto pattern = model::all_correct(5);
+  const auto trace =
+      run_consensus<algo::CtStrongConsensus>("P", pattern, 1, config);
+  const auto report = check_totality(trace, 0);
+  EXPECT_GT(report.decisions, 0);
+  EXPECT_TRUE(report.all_total()) << report.example;
+  // And those decisions indeed happened only after the block lifted.
+  for (const auto& d : trace.decisions_of_instance(0)) {
+    EXPECT_GE(d.time, 6000);
+  }
+}
+
+TEST(Totality, RotatingCoordinatorIsNotTotal) {
+  // Footnote 4: the <>S algorithm consults only a majority. With everyone
+  // alive, a decision that consulted all 5 processes would be total; runs
+  // where the consulted fraction < 1 witness non-totality.
+  bool non_total_seen = false;
+  for (std::uint64_t seed = 0; seed < 10 && !non_total_seen; ++seed) {
+    const auto pattern = model::all_correct(5);
+    const auto trace =
+        run_consensus<algo::CtRotatingConsensus>("<>S", pattern, seed);
+    const auto report = check_totality(trace, 0);
+    non_total_seen = report.non_total_decisions > 0;
+  }
+  EXPECT_TRUE(non_total_seen);
+}
+
+TEST(Totality, CrChainDecidesWithoutConsultingAnyone) {
+  // p0's decision in the chain algorithm has an empty causal chain: the
+  // most extreme non-totality, and the reason uniformity fails.
+  const auto pattern = model::all_correct(4);
+  const auto trace = run_consensus<algo::CrChainConsensus>("P<", pattern, 3);
+  const auto report = check_totality(trace, 0);
+  EXPECT_GT(report.non_total_decisions, 0);
+  EXPECT_LT(report.consulted_fraction.min(), 0.5);
+}
+
+// --- Lemma 4.2: T(D->P) ----------------------------------------------------
+
+struct ReductionRun {
+  fd::History history;
+  model::FailurePattern pattern;
+  ProcessSet final_output_union;
+};
+
+ReductionRun run_reduction(const model::FailurePattern& pattern,
+                           const std::string& detector, std::uint64_t seed,
+                           InstanceId instances, Tick horizon,
+                           Tick gap = 0) {
+  const ProcessId n = pattern.n();
+  const auto oracle = fd::find_detector(detector).factory(pattern, seed);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < n; ++p) {
+    automata.push_back(std::make_unique<ConsensusToP>(
+        n, ConsensusToP::ct_strong_factory(n), instances, gap));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(mix_seed(seed, 1)));
+  sim.run_for(horizon);
+
+  std::vector<std::vector<std::pair<Tick, ProcessId>>> timelines;
+  ProcessSet union_out(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto& reduction = dynamic_cast<ConsensusToP&>(sim.automaton(p));
+    timelines.push_back(reduction.suspicion_timeline());
+    union_out |= reduction.output();
+  }
+  return {history_from_timelines(n, horizon, timelines), pattern, union_out};
+}
+
+TEST(ConsensusToPReduction, EmulatesStrongAccuracy) {
+  // No process is ever suspected by output(P) before it crashed: with a
+  // realistic detector and a total algorithm, missing tags certify death.
+  model::PatternSweep sweep(4, 0x42);
+  sweep.with_all_correct()
+      .with_single_crashes({0, 400})
+      .with_cascades(3, 200, 300)
+      .with_random(4, 0, 3, 3000);
+  for (const auto& pattern : sweep.patterns()) {
+    const auto run = run_reduction(pattern, "P", 5, 12, kHorizon, /*gap=*/400);
+    const auto accuracy = fd::strong_accuracy(run.pattern, run.history);
+    EXPECT_TRUE(accuracy.ok) << pattern.to_string() << ": " << accuracy.detail;
+  }
+}
+
+TEST(ConsensusToPReduction, EmulatesStrongCompleteness) {
+  // Crashed processes end up permanently suspected by every correct
+  // process (they miss from all post-crash instances).
+  model::PatternSweep sweep(4, 0x43);
+  sweep.with_single_crashes({0, 200}).with_cascades(3, 150, 250);
+  for (const auto& pattern : sweep.patterns()) {
+    const auto run =
+        run_reduction(pattern, "P", 6, 16, kHorizon, /*gap=*/400);
+    const auto completeness =
+        fd::strong_completeness(run.pattern, run.history);
+    EXPECT_TRUE(completeness.ok)
+        << pattern.to_string() << ": " << completeness.detail;
+  }
+}
+
+TEST(ConsensusToPReduction, EmulationIsPerfect) {
+  const auto pattern = model::cascade(4, 2, 300, 400);
+  const auto run = run_reduction(pattern, "P", 9, 16, kHorizon, /*gap=*/400);
+  const auto cls = fd::classify(run.pattern, run.history, /*min_suffix=*/200);
+  EXPECT_TRUE(cls.perfect);
+}
+
+TEST(ConsensusToPReduction, NoFalseSuspicionsEverAllCorrect) {
+  const auto pattern = model::all_correct(5);
+  const auto run = run_reduction(pattern, "P", 11, 10, kHorizon);
+  EXPECT_TRUE(run.final_output_union.empty())
+      << run.final_output_union.to_string();
+}
+
+TEST(ConsensusToPReduction, CheatingDetectorBreaksTheEmulation) {
+  // With the non-realistic Strong detector the algorithm is not total, so
+  // the emulation falsely suspects live processes in some run - the lower
+  // bound genuinely needs realism.
+  bool false_suspicion = false;
+  for (std::uint64_t seed = 0; seed < 8 && !false_suspicion; ++seed) {
+    const auto pattern = model::all_correct(4);
+    const auto run = run_reduction(pattern, "S(cheat)", seed, 10, kHorizon);
+    false_suspicion = !run.final_output_union.empty();
+  }
+  EXPECT_TRUE(false_suspicion);
+}
+
+TEST(ConsensusToPReduction, ProgressesThroughInstances) {
+  const auto pattern = model::all_correct(4);
+  const auto oracle = fd::find_detector("P").factory(pattern, 3);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < 4; ++p) {
+    automata.push_back(std::make_unique<ConsensusToP>(
+        4, ConsensusToP::ct_strong_factory(4), 16));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(13));
+  sim.run_for(kHorizon);
+  for (ProcessId p = 0; p < 4; ++p) {
+    const auto& r = dynamic_cast<ConsensusToP&>(sim.automaton(p));
+    EXPECT_GE(r.instances_decided(), 8) << "p" << p;
+  }
+}
+
+// --- Proposition 5.1: TRB -> P ---------------------------------------------
+
+TEST(TrbToPReduction, EmulatesPerfect) {
+  model::PatternSweep sweep(4, 0x51);
+  sweep.with_all_correct()
+      .with_single_crashes({0, 500})
+      .with_cascades(3, 300, 400);
+  for (const auto& pattern : sweep.patterns()) {
+    const ProcessId n = pattern.n();
+    const auto oracle = fd::find_detector("P").factory(pattern, 21);
+    std::vector<std::unique_ptr<sim::Automaton>> automata;
+    for (ProcessId p = 0; p < n; ++p) {
+      automata.push_back(
+          std::make_unique<TrbToP>(n, /*max_rounds=*/6, /*gap=*/600));
+    }
+    sim::Simulator sim(pattern, *oracle, std::move(automata),
+                       std::make_unique<sim::RandomAdversary>(23));
+    sim.run_for(kHorizon);
+
+    std::vector<std::vector<std::pair<Tick, ProcessId>>> timelines;
+    for (ProcessId p = 0; p < n; ++p) {
+      timelines.push_back(
+          dynamic_cast<TrbToP&>(sim.automaton(p)).suspicion_timeline());
+    }
+    const auto history = history_from_timelines(n, kHorizon, timelines);
+    EXPECT_TRUE(fd::strong_accuracy(pattern, history).ok)
+        << pattern.to_string();
+    EXPECT_TRUE(fd::strong_completeness(pattern, history).ok)
+        << pattern.to_string();
+  }
+}
+
+TEST(TrbToPReduction, RoundsProgress) {
+  const auto pattern = model::all_correct(4);
+  const auto oracle = fd::find_detector("P").factory(pattern, 31);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < 4; ++p) {
+    automata.push_back(std::make_unique<TrbToP>(4, 8));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(37));
+  sim.run_for(kHorizon);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_GE(dynamic_cast<TrbToP&>(sim.automaton(p)).rounds_completed(), 4);
+  }
+}
+
+// --- timeline -> history helper -------------------------------------------
+
+TEST(EmulationHistory, TimelinesBecomeMonotoneHistories) {
+  std::vector<std::vector<std::pair<Tick, ProcessId>>> timelines(3);
+  timelines[0] = {{5, 1}, {10, 2}};
+  const auto h = history_from_timelines(3, 20, timelines);
+  EXPECT_FALSE(h.suspects(0, 1, 4));
+  EXPECT_TRUE(h.suspects(0, 1, 5));
+  EXPECT_TRUE(h.suspects(0, 1, 19));
+  EXPECT_TRUE(h.suspects(0, 2, 10));
+  EXPECT_FALSE(h.suspects(1, 1, 19));
+}
+
+}  // namespace
+}  // namespace rfd::red

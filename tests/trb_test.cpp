@@ -1,0 +1,161 @@
+// Terminating reliable broadcast tests (Section 5): correct behaviour with
+// P under crash sweeps, nil deliveries exactly for faulty senders, and the
+// failure modes with detectors weaker than P (which is the "needs P" half
+// of Proposition 5.1 made concrete).
+#include <gtest/gtest.h>
+
+#include "algo/specs.hpp"
+#include "algo/trb/trb.hpp"
+#include "fd/registry.hpp"
+#include "model/environment.hpp"
+#include "sim/simulator.hpp"
+
+namespace rfd::algo {
+namespace {
+
+constexpr Value kMsg = 4242;
+constexpr Tick kHorizon = 9000;
+
+sim::Trace run_trb(const std::string& detector,
+                   const model::FailurePattern& pattern, ProcessId sender,
+                   std::uint64_t seed, Tick horizon = kHorizon) {
+  const ProcessId n = pattern.n();
+  const auto oracle = fd::find_detector(detector).factory(pattern, seed);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < n; ++p) {
+    automata.push_back(std::make_unique<TrbAutomaton>(n, sender, kMsg));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(mix_seed(seed, 3)));
+  sim.run_for(horizon);
+  return sim.trace();
+}
+
+struct TrbCase {
+  std::size_t pattern_index;
+  ProcessId sender;
+};
+
+std::vector<model::FailurePattern> trb_patterns(ProcessId n) {
+  model::PatternSweep sweep(n, 0x77b);
+  sweep.with_all_correct()
+      .with_single_crashes({0, 100, 1200})
+      .with_cascades(n - 1, 80, 100)
+      .with_all_but_one(500)
+      .with_random(5, 0, n - 1, 2000);
+  return sweep.patterns();
+}
+
+class TrbWithPerfect : public ::testing::TestWithParam<TrbCase> {};
+
+TEST_P(TrbWithPerfect, SpecificationHolds) {
+  const auto& c = GetParam();
+  const ProcessId n = 4;
+  const auto patterns = trb_patterns(n);
+  ASSERT_LT(c.pattern_index, patterns.size());
+  const auto& pattern = patterns[c.pattern_index];
+  const auto trace = run_trb("P", pattern, c.sender, 0xbead);
+  const auto check = check_trb(trace, 0, c.sender, kMsg);
+  EXPECT_TRUE(check.ok()) << "sender p" << c.sender << " on "
+                          << pattern.to_string() << ": " << check.to_string();
+}
+
+std::vector<TrbCase> trb_cases() {
+  std::vector<TrbCase> cases;
+  const std::size_t count = trb_patterns(4).size();
+  for (std::size_t pi = 0; pi < count; ++pi) {
+    for (ProcessId sender : {0, 2}) {
+      cases.push_back({pi, sender});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, TrbWithPerfect,
+                         ::testing::ValuesIn(trb_cases()),
+                         [](const ::testing::TestParamInfo<TrbCase>& info) {
+                           return "f" + std::to_string(info.param.pattern_index) +
+                                  "_s" + std::to_string(info.param.sender);
+                         });
+
+TEST(Trb, CorrectSenderValueIsDelivered) {
+  const ProcessId n = 4;
+  const auto pattern = model::single_crash(n, 2, 300);  // sender 0 correct
+  const auto trace = run_trb("P", pattern, /*sender=*/0, 1);
+  pattern.correct().for_each([&](ProcessId p) {
+    const auto d = trace.delivery_of(p, 0);
+    ASSERT_TRUE(d.has_value()) << "p" << p;
+    EXPECT_EQ(d->value, kMsg);
+  });
+}
+
+TEST(Trb, CrashedSenderYieldsNilEverywhere) {
+  const ProcessId n = 4;
+  const auto pattern = model::single_crash(n, 0, 0);  // sender dead at start
+  const auto trace = run_trb("P", pattern, /*sender=*/0, 2);
+  pattern.correct().for_each([&](ProcessId p) {
+    const auto d = trace.delivery_of(p, 0);
+    ASSERT_TRUE(d.has_value()) << "p" << p;
+    EXPECT_EQ(d->value, kNilValue);
+  });
+}
+
+TEST(Trb, MidFlightCrashIsConsistent) {
+  // The sender crashes after reaching only some processes: consensus must
+  // still make everyone deliver the SAME outcome (m or nil).
+  const ProcessId n = 5;
+  for (Tick crash = 1; crash <= 41; crash += 8) {
+    const auto pattern = model::single_crash(n, 1, crash);
+    const auto trace = run_trb("P", pattern, /*sender=*/1, 77 + crash);
+    const auto check = check_trb(trace, 0, 1, kMsg);
+    EXPECT_TRUE(check.ok()) << "crash at " << crash << ": "
+                            << check.to_string();
+  }
+}
+
+TEST(Trb, EventuallyPerfectDetectorBreaksIt) {
+  // <>P falsely suspects the (correct) sender before convergence, so some
+  // run delivers nil for a live sender: TRB genuinely needs P, not <>P.
+  const ProcessId n = 4;
+  bool validity_broken = false;
+  for (std::uint64_t seed = 0; seed < 12 && !validity_broken; ++seed) {
+    const auto pattern = model::all_correct(n);
+    const auto trace = run_trb("<>P", pattern, /*sender=*/0, seed);
+    const auto check = check_trb(trace, 0, 0, kMsg);
+    validity_broken = !check.validity;
+  }
+  EXPECT_TRUE(validity_broken);
+}
+
+TEST(Trb, PartiallyPerfectCannotTerminateIt) {
+  // Under P< the embedded consensus waits forever on crashed higher-id
+  // processes that nobody can suspect: TRB loses termination.
+  const ProcessId n = 4;
+  const auto pattern = model::single_crash(n, 3, 50);
+  const auto trace = run_trb("P<", pattern, /*sender=*/0, 5);
+  const auto check = check_trb(trace, 0, 0, kMsg);
+  EXPECT_FALSE(check.termination) << check.to_string();
+  EXPECT_TRUE(check.agreement && check.integrity) << check.to_string();
+}
+
+TEST(Trb, ProposalsMatchSuspicionState) {
+  // White-box: a process that saw the sender's value proposes it; one that
+  // suspected first proposes nil.
+  const ProcessId n = 4;
+  const auto pattern = model::single_crash(n, 0, 1);
+  const auto oracle = fd::find_detector("P").factory(pattern, 6);
+  std::vector<std::unique_ptr<sim::Automaton>> automata;
+  for (ProcessId p = 0; p < n; ++p) {
+    automata.push_back(std::make_unique<TrbAutomaton>(n, 0, kMsg));
+  }
+  sim::Simulator sim(pattern, *oracle, std::move(automata),
+                     std::make_unique<sim::RandomAdversary>(8));
+  sim.run_for(kHorizon);
+  for (ProcessId p = 1; p < n; ++p) {
+    const auto& trb = dynamic_cast<TrbAutomaton&>(sim.automaton(p));
+    EXPECT_TRUE(trb.proposal() == kMsg || trb.proposal() == kNilValue);
+  }
+}
+
+}  // namespace
+}  // namespace rfd::algo
