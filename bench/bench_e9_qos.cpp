@@ -46,6 +46,7 @@ BENCHMARK(BM_QosExperiment)->Unit(benchmark::kMillisecond)->Iterations(3);
 int main(int argc, char** argv) {
   using namespace rfd;
   const int kRuns = 12;
+  bench::JsonReport json("e9_qos");
   std::printf("E9: QoS of timeout-based detectors (heartbeat 100ms, crash at"
               "\n45s of 60s, %d seeded runs per row; mistakes per minute)\n",
               kRuns);
@@ -60,6 +61,13 @@ int main(int argc, char** argv) {
       config.network.jitter_sigma = 1.1;
       config.network.loss_prob = 0.05;
       const auto agg = rt::run_qos_sweep(config, 0x901, kRuns);
+      json.row("frontier")
+          .num("timeout_ms", timeout)
+          .num("detection_ms_mean", agg.detection_time_ms.mean())
+          .num("mistakes_per_min", agg.mistake_rate_per_s.mean() * 60.0)
+          .num("mistake_duration_ms_mean", agg.avg_mistake_duration_ms.mean())
+          .num("query_accuracy", agg.query_accuracy.mean())
+          .num("undetected", static_cast<double>(agg.undetected_crashes));
       auto row = qos_row(Table::fixed(timeout, 0), agg, kRuns);
       table.add_row(std::move(row));
     }
@@ -88,6 +96,13 @@ int main(int argc, char** argv) {
         config.network.jitter_sigma = net.sigma;
         config.network.loss_prob = net.loss;
         const auto agg = rt::run_qos_sweep(config, 0x902, kRuns);
+        json.row("detectors")
+            .str("detector", rt::detector_kind_name(kind))
+            .str("network", net.label)
+            .num("detection_ms_mean", agg.detection_time_ms.mean())
+            .num("mistakes_per_min", agg.mistake_rate_per_s.mean() * 60.0)
+            .num("query_accuracy", agg.query_accuracy.mean())
+            .num("undetected", static_cast<double>(agg.undetected_crashes));
         auto row = qos_row(rt::detector_kind_name(kind), agg, kRuns);
         row.insert(row.begin() + 1, net.label);
         table.add_row(std::move(row));
@@ -95,6 +110,7 @@ int main(int argc, char** argv) {
     }
     table.print("E9b: fixed vs adaptive vs phi-accrual across regimes");
   }
+  json.write();
 
   std::printf(
       "\nReading: shorter timeouts trade mistakes for detection speed; the"

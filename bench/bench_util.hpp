@@ -1,14 +1,127 @@
 // Shared helpers for the experiment benches: run an algorithm fleet over a
-// pattern and hand back the trace, plus common measurement utilities.
+// pattern and hand back the trace, common measurement utilities, and a
+// machine-readable JSON emitter so the perf trajectory of every bench can
+// be tracked across PRs.
 #pragma once
 
+#include <cmath>
+#include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/api.hpp"
 
 namespace rfd::bench {
+
+/// Accumulates flat records and writes them as `BENCH_<name>.json` in the
+/// working directory, next to the human-readable tables. Usage:
+///
+///   JsonReport json("e11_cluster");
+///   json.row("scaling")
+///       .str("topology", "gossip").num("n", 256)
+///       .num("msgs_per_node_per_s", 31.2);
+///   ...
+///   json.write();
+///
+/// Values are doubles or strings; NaN/inf become null so downstream
+/// tooling never sees bare `nan` tokens.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport& row(const std::string& section) {
+    rows_.emplace_back();
+    return str("section", section);
+  }
+
+  JsonReport& str(const std::string& key, const std::string& value) {
+    current().push_back("\"" + escape(key) + "\": \"" + escape(value) +
+                        "\"");
+    return *this;
+  }
+
+  JsonReport& num(const std::string& key, double value) {
+    char buf[64];
+    if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof(buf), "%.10g", value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    current().push_back("\"" + escape(key) + "\": " + buf);
+    return *this;
+  }
+
+  JsonReport& boolean(const std::string& key, bool value) {
+    current().push_back("\"" + escape(key) +
+                        (value ? "\": true" : "\": false"));
+    return *this;
+  }
+
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Writes the accumulated records; returns false (and prints a warning)
+  /// if the file cannot be opened.
+  bool write() const {
+    std::FILE* f = std::fopen(path().c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path().c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [",
+                 escape(name_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
+      for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+        std::fprintf(f, "%s%s", j == 0 ? "" : ", ", rows_[i][j].c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path().c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  /// Fields added before the first row() open one implicitly.
+  std::vector<std::string>& current() {
+    if (rows_.empty()) rows_.emplace_back();
+    return rows_.back();
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::string>> rows_;
+};
 
 template <typename Algo>
 sim::Trace run_fleet(const std::string& detector,

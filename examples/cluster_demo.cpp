@@ -1,0 +1,87 @@
+// Demo: a 48-node gossip-monitored cluster surviving a bad afternoon.
+//
+// A scripted timeline throws a rack partition, a crash hidden inside it,
+// a delay storm and some churn at a cluster whose only failure detectors
+// are the paper's "realistic" ones - per-peer timeouts fed by gossiped
+// heartbeat counters. Watch the cluster-level QoS that falls out: nobody
+// waits for a Perfect detector, mistakes happen on schedule, and the
+// membership still converges on the truth after every disruption.
+//
+//   ./cluster_demo [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/engine.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rfd;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 48;
+
+  cluster::ClusterConfig config;
+  config.n = 48;
+  config.max_nodes = 52;
+  config.topology.kind = cluster::TopologyKind::kGossip;
+  config.topology.gossip_fanout = 3;
+  config.topology.digest_size = 48;
+  config.detector.kind = rt::DetectorKind::kPhi;
+  config.detector.phi.threshold = 8.0;
+  config.heartbeat_interval_ms = 100.0;
+  config.check_interval_ms = 100.0;
+  config.duration_ms = 60'000.0;
+
+  std::vector<cluster::NodeId> left, right;
+  for (int i = 0; i < 48; ++i) (i < 24 ? left : right).push_back(i);
+
+  config.scenario
+      .crash(6'000.0, 17)                       //  6s: a node dies
+      .partition(14'000.0, {left, right})       // 14s: rack cut in half
+      .crash(18'000.0, 5)                       // 18s: ...hiding a crash
+      .heal(24'000.0)                           // 24s: cut repaired
+      .delay_storm(32'000.0, 40'000.0, 800.0, 0.6)  // 32s: congestion
+      .join(44'000.0, 48)                       // 44s: capacity added
+      .leave(48'000.0, 30);                     // 48s: silent decommission
+
+  std::printf(
+      "cluster_demo: 48 nodes, gossip(f=3), phi-accrual detectors,\n"
+      "60s timeline: crash @6s, partition @14s, crash-in-partition @18s,\n"
+      "heal @24s, delay storm 32-40s, join @44s, silent leave @48s\n\n");
+
+  const cluster::ClusterReport r = cluster::run_cluster(config, seed);
+
+  Table table({"metric", "value"});
+  table.add_row({"messages/node/s", Table::fixed(r.messages_per_node_per_s, 1)});
+  table.add_row({"digest entries/node/s",
+                 Table::fixed(r.entries_per_node_per_s, 0)});
+  table.add_row({"detection latency p50 (ms)",
+                 Table::fixed(r.detection_latency_ms.percentile(0.5), 0)});
+  table.add_row({"detection latency p99 (ms)",
+                 Table::fixed(r.detection_latency_ms.percentile(0.99), 0)});
+  table.add_row({"(observer, victim) detections",
+                 Table::num(r.detection_latency_ms.count())});
+  table.add_row({"missed detections", Table::num(r.missed_detections)});
+  table.add_row({"false suspicions", Table::num(r.false_suspicions)});
+  table.add_row({"disruptions converged",
+                 Table::num(r.convergence_ms.count()) + "/" +
+                     Table::num(r.disruptions)});
+  table.add_row({"convergence mean (ms)",
+                 r.convergence_ms.count() > 0
+                     ? Table::fixed(r.convergence_ms.mean(), 0)
+                     : "-"});
+  table.add_row({"final agreement", Table::yes_no(r.final_agreement)});
+  table.print("cluster QoS over the full timeline");
+
+  std::printf(
+      "\n%s\n\n"
+      "The partition made both halves falsely suspect each other - the\n"
+      "detectors are only <>P-grade and that is the paper's point - yet\n"
+      "the freshness protocol refutes every false suspicion after heal,\n"
+      "while the two real crashes and the silent leave stay detected by\n"
+      "every live observer. Tune the phi threshold down and watch the\n"
+      "false count climb; tune it up and watch detection slow: there is\n"
+      "no setting that makes the detector Perfect, only settings that\n"
+      "move the mistakes around.\n",
+      r.summary().c_str());
+  return 0;
+}

@@ -1,0 +1,290 @@
+#include "cluster/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "runtime/event_queue.hpp"
+
+namespace rfd::cluster {
+namespace {
+
+using Entry = std::pair<NodeId, std::int64_t>;
+
+class ClusterEngine {
+ public:
+  ClusterEngine(const ClusterConfig& config, std::uint64_t seed)
+      : config_(config),
+        max_nodes_(config.max_nodes > 0 ? config.max_nodes : config.n),
+        network_(queue_, mix_seed(seed, 0xc1e5), config.network),
+        topology_(make_topology(config.topology, max_nodes_)) {
+    RFD_REQUIRE(config_.n >= 2);
+    RFD_REQUIRE(max_nodes_ >= config_.n);
+    RFD_REQUIRE(config_.heartbeat_interval_ms > 0.0);
+    RFD_REQUIRE(config_.check_interval_ms > 0.0);
+
+    NodeParams node_params;
+    node_params.detector = config_.detector;
+    node_params.bootstrap_grace_ms = config_.bootstrap_grace_ms;
+    node_params.hot_transmissions = config_.hot_transmissions;
+    nodes_.reserve(static_cast<std::size_t>(max_nodes_));
+    const Rng base(mix_seed(seed, 0x0dde));
+    for (NodeId i = 0; i < max_nodes_; ++i) {
+      nodes_.emplace_back(i, max_nodes_, node_params);
+      rngs_.push_back(base.split(static_cast<std::uint64_t>(i)));
+    }
+
+    ever_active_.assign(static_cast<std::size_t>(max_nodes_), false);
+    truth_active_.assign(static_cast<std::size_t>(max_nodes_), false);
+    down_since_.assign(static_cast<std::size_t>(max_nodes_), -1.0);
+    for (NodeId i = 0; i < config_.n; ++i) {
+      ever_active_[static_cast<std::size_t>(i)] = true;
+      truth_active_[static_cast<std::size_t>(i)] = true;
+    }
+    for (NodeId i = config_.n; i < max_nodes_; ++i) {
+      nodes_[static_cast<std::size_t>(i)].set_active(false);
+    }
+    // The initial membership list is configuration, not discovery.
+    for (NodeId i = 0; i < config_.n; ++i) {
+      for (NodeId j = 0; j < config_.n; ++j) {
+        if (i != j) nodes_[static_cast<std::size_t>(i)].learn_peer(j, 0.0);
+      }
+    }
+
+    report_.n = config_.n;
+    report_.max_nodes = max_nodes_;
+    report_.topology = topology_->name();
+    report_.detector = rt::detector_kind_name(config_.detector.kind);
+    report_.duration_ms = config_.duration_ms;
+  }
+
+  ClusterReport run() {
+    for (const FaultEvent& event : config_.scenario.sorted()) {
+      queue_.schedule(event.at_ms, [this, event] { apply(event); });
+    }
+    for (NodeId i = 0; i < max_nodes_; ++i) {
+      // Desynchronized heartbeat phases, as in any real deployment.
+      const double phase =
+          rngs_[static_cast<std::size_t>(i)].uniform01() *
+          config_.heartbeat_interval_ms;
+      queue_.schedule(phase, [this, i] { pump(i); });
+    }
+    queue_.schedule(config_.check_interval_ms, [this] { check(); });
+    queue_.run_until(config_.duration_ms);
+    finalize();
+    return std::move(report_);
+  }
+
+ private:
+  void pump(NodeId i) {
+    ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
+    if (node.active()) {
+      node.advance_own_counter();
+      targets_scratch_.clear();
+      topology_->targets(node, rngs_[static_cast<std::size_t>(i)],
+                         targets_scratch_);
+      for (NodeId target : targets_scratch_) {
+        digest_scratch_.clear();
+        topology_->digest(node, target, digest_scratch_);
+        std::vector<Entry> entries;
+        entries.reserve(digest_scratch_.size() + 1);
+        entries.emplace_back(i, node.own_counter());
+        for (NodeId j : digest_scratch_) {
+          entries.emplace_back(j, node.record(j).counter);
+        }
+        report_.digest_entries_sent +=
+            static_cast<std::int64_t>(digest_scratch_.size());
+        network_.send(i, target,
+                      [this, target, entries = std::move(entries)] {
+                        receive(target, entries);
+                      });
+      }
+    }
+    queue_.schedule_in(config_.heartbeat_interval_ms, [this, i] { pump(i); });
+  }
+
+  void receive(NodeId to, const std::vector<Entry>& entries) {
+    ClusterNode& node = nodes_[static_cast<std::size_t>(to)];
+    if (!node.active()) return;
+    const double now = queue_.now();
+    for (const Entry& entry : entries) {
+      node.observe(entry.first, entry.second, now);
+    }
+  }
+
+  void check() {
+    const double now = queue_.now();
+    bool all_agree = true;
+    for (NodeId i = 0; i < max_nodes_; ++i) {
+      ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
+      if (!node.active()) continue;
+      for (NodeId j = 0; j < max_nodes_; ++j) {
+        if (j == i) continue;
+        PeerRecord& r = node.mutable_record(j);
+        const bool truly_down = ever_active_[static_cast<std::size_t>(j)] &&
+                                !truth_active_[static_cast<std::size_t>(j)];
+        if (!r.known) {
+          // Ignorance of a node it never met is consistent either way.
+          continue;
+        }
+        const bool suspected = node.suspects(j, now);
+        if (suspected != r.suspected) {
+          r.suspected = suspected;
+          r.suspect_since = suspected ? now : -1.0;
+          if (suspected && !truly_down) ++report_.false_suspicions;
+        }
+        if (suspected != truly_down) all_agree = false;
+      }
+    }
+    if (all_agree && agreed_version_ < truth_version_) {
+      report_.convergence_ms.add(now - truth_change_time_);
+      agreed_version_ = truth_version_;
+    }
+    last_agreement_ = all_agree;
+    queue_.schedule_in(config_.check_interval_ms, [this] { check(); });
+  }
+
+  std::vector<NodeId> active_contacts() const {
+    std::vector<NodeId> contacts;
+    for (NodeId j = 0; j < max_nodes_; ++j) {
+      if (truth_active_[static_cast<std::size_t>(j)]) contacts.push_back(j);
+    }
+    return contacts;
+  }
+
+  void bump_truth(double now) {
+    // A batch of same-instant faults (e.g. a rack failing) is one
+    // disruption to converge from, not many.
+    if (truth_version_ > 0 && truth_change_time_ == now) return;
+    ++truth_version_;
+    truth_change_time_ = now;
+    ++report_.disruptions;
+  }
+
+  void apply(const FaultEvent& event) {
+    const double now = queue_.now();
+    switch (event.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kLeave: {
+        const NodeId j = event.node;
+        RFD_REQUIRE(j >= 0 && j < max_nodes_);
+        if (!truth_active_[static_cast<std::size_t>(j)]) return;
+        truth_active_[static_cast<std::size_t>(j)] = false;
+        down_since_[static_cast<std::size_t>(j)] = now;
+        nodes_[static_cast<std::size_t>(j)].set_active(false);
+        bump_truth(now);
+        break;
+      }
+      case FaultKind::kRecover: {
+        const NodeId j = event.node;
+        RFD_REQUIRE(j >= 0 && j < max_nodes_);
+        if (!ever_active_[static_cast<std::size_t>(j)] ||
+            truth_active_[static_cast<std::size_t>(j)]) {
+          return;
+        }
+        truth_active_[static_cast<std::size_t>(j)] = true;
+        down_since_[static_cast<std::size_t>(j)] = -1.0;
+        ClusterNode& node = nodes_[static_cast<std::size_t>(j)];
+        // A restarted process lost its peer memory; it rejoins from the
+        // current membership the way a provisioning system would seed it.
+        node.reset_peers(now, active_contacts());
+        node.set_active(true);
+        bump_truth(now);
+        break;
+      }
+      case FaultKind::kJoin: {
+        const NodeId j = event.node;
+        RFD_REQUIRE(j >= 0 && j < max_nodes_);
+        if (ever_active_[static_cast<std::size_t>(j)]) return;
+        ever_active_[static_cast<std::size_t>(j)] = true;
+        truth_active_[static_cast<std::size_t>(j)] = true;
+        ClusterNode& node = nodes_[static_cast<std::size_t>(j)];
+        node.reset_peers(now, active_contacts());
+        node.set_active(true);
+        // The join itself does not change the true crashed set, so it is
+        // not a disruption to converge from.
+        break;
+      }
+      case FaultKind::kPartition:
+        network_.set_partition(event.groups);
+        break;
+      case FaultKind::kHeal:
+        network_.clear_partition();
+        // Re-convergence is only measurable if the partition actually
+        // drove the cluster into disagreement.
+        if (!last_agreement_) bump_truth(now);
+        break;
+      case FaultKind::kStormStart:
+        network_.set_storm(event.extra_delay_ms, event.delay_prob);
+        break;
+      case FaultKind::kStormEnd:
+        network_.clear_storm();
+        if (!last_agreement_) bump_truth(now);
+        break;
+    }
+  }
+
+  void finalize() {
+    for (NodeId j = 0; j < max_nodes_; ++j) {
+      const bool truly_down = ever_active_[static_cast<std::size_t>(j)] &&
+                              !truth_active_[static_cast<std::size_t>(j)];
+      if (!truly_down || down_since_[static_cast<std::size_t>(j)] < 0.0) {
+        continue;
+      }
+      const double down_at = down_since_[static_cast<std::size_t>(j)];
+      for (NodeId i = 0; i < max_nodes_; ++i) {
+        if (i == j || !truth_active_[static_cast<std::size_t>(i)]) continue;
+        const PeerRecord& r =
+            nodes_[static_cast<std::size_t>(i)].record(j);
+        if (!r.known) continue;  // never met the victim; not a miss
+        if (r.suspected) {
+          // A suspicion already standing at crash time detects "instantly"
+          // from the abstraction's point of view.
+          report_.detection_latency_ms.add(
+              std::max(0.0, r.suspect_since - down_at));
+        } else {
+          ++report_.missed_detections;
+        }
+      }
+    }
+    report_.messages_sent = network_.sent();
+    report_.messages_dropped = network_.dropped();
+    report_.partition_dropped = network_.partition_dropped();
+    report_.unconverged_disruptions =
+        report_.disruptions - report_.convergence_ms.count();
+    report_.final_agreement = last_agreement_;
+    finalize_rates(report_);
+  }
+
+  ClusterConfig config_;
+  int max_nodes_;
+  rt::EventQueue queue_;
+  rt::Network network_;
+  std::unique_ptr<Topology> topology_;
+  std::vector<ClusterNode> nodes_;
+  std::vector<Rng> rngs_;
+
+  // Ground truth, maintained by the scenario interpreter.
+  std::vector<bool> ever_active_;
+  std::vector<bool> truth_active_;
+  std::vector<double> down_since_;
+  std::int64_t truth_version_ = 0;
+  std::int64_t agreed_version_ = 0;
+  double truth_change_time_ = 0.0;
+  bool last_agreement_ = true;
+
+  ClusterReport report_;
+  std::vector<NodeId> targets_scratch_;
+  std::vector<NodeId> digest_scratch_;
+};
+
+}  // namespace
+
+ClusterReport run_cluster(const ClusterConfig& config, std::uint64_t seed) {
+  ClusterEngine engine(config, seed);
+  return engine.run();
+}
+
+}  // namespace rfd::cluster

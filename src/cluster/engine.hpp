@@ -1,0 +1,48 @@
+// The cluster monitoring engine: N nodes over the rfd::rt event queue and
+// network, each composing per-peer timeout detectors under a pluggable
+// dissemination topology, driven by a scripted fault scenario.
+//
+// This is the paper's thesis at production scale: every node runs
+// <>P-grade detectors that are always allowed to be wrong, and the
+// engine measures what the resulting *cluster* delivers - detection
+// latency percentiles across all (observer, victim) pairs, false
+// suspicions, per-node message load, and how long the live membership
+// takes to converge on the true crashed set after each disruption.
+// Runs are a pure function of (config, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/metrics.hpp"
+#include "cluster/scenario.hpp"
+#include "cluster/topology.hpp"
+#include "runtime/detectors.hpp"
+#include "runtime/network.hpp"
+
+namespace rfd::cluster {
+
+struct ClusterConfig {
+  /// Initially active nodes, ids 0..n-1.
+  int n = 64;
+  /// Id space; ids n..max_nodes-1 start inactive and may join via the
+  /// scenario. 0 = n.
+  int max_nodes = 0;
+  TopologyParams topology;
+  rt::DetectorParams detector;
+  rt::NetworkParams network;
+  double heartbeat_interval_ms = 100.0;
+  /// Suspicion transitions and cluster agreement are sampled on this
+  /// grid (bounds the latency resolution of the report).
+  double check_interval_ms = 100.0;
+  /// Silence tolerated for known-but-never-heard peers (see node.hpp).
+  double bootstrap_grace_ms = 1500.0;
+  /// Piggyback retransmissions per counter advance (see node.hpp).
+  int hot_transmissions = 4;
+  double duration_ms = 30'000.0;
+  Scenario scenario;
+};
+
+/// Runs one seeded cluster experiment and aggregates cluster QoS.
+ClusterReport run_cluster(const ClusterConfig& config, std::uint64_t seed);
+
+}  // namespace rfd::cluster

@@ -1,0 +1,60 @@
+// Cluster-level QoS aggregation: what the whole monitoring fabric
+// delivers, as opposed to the single monitor/peer QoS of runtime/qos.hpp
+// (experiment E9). The report makes dissemination topologies directly
+// comparable: detection latency percentiles across every (observer,
+// victim) pair, false-suspicion counts, per-node message load, and
+// convergence time - how long after a disruption until every live node
+// agrees on the true crashed set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace rfd::cluster {
+
+struct ClusterReport {
+  int n = 0;          // initial active nodes (rates are normalized by this)
+  int max_nodes = 0;  // id space (>= n when the scenario includes joins)
+  std::string topology;
+  std::string detector;
+  double duration_ms = 0.0;
+
+  // Message complexity.
+  std::int64_t messages_sent = 0;
+  std::int64_t messages_dropped = 0;
+  std::int64_t partition_dropped = 0;
+  /// Piggybacked (id, counter) entries beyond the senders' own - the
+  /// bandwidth the topology spends on transitive dissemination.
+  std::int64_t digest_entries_sent = 0;
+  double messages_per_node_per_s = 0.0;
+  double entries_per_node_per_s = 0.0;
+
+  // Detection quality. One latency sample per (live observer, crashed
+  // victim) pair, measured crash -> start of the suspicion that still
+  // stands at the end of the run; quantized to the check interval.
+  Summary detection_latency_ms;
+  std::int64_t missed_detections = 0;
+  /// Suspicion transitions against peers that were alive at that moment.
+  std::int64_t false_suspicions = 0;
+  double false_suspicions_per_node_per_min = 0.0;
+
+  // Agreement. A disruption is a crash/recover/leave, or a heal/storm-end
+  // that found the cluster disagreeing; convergence is the time from the
+  // disruption until every live node's suspect set matches the true
+  // crashed set (ignorance of never-met nodes does not count against).
+  Summary convergence_ms;
+  std::int64_t disruptions = 0;
+  /// Disruptions superseded or still unconverged at the end of the run.
+  std::int64_t unconverged_disruptions = 0;
+  bool final_agreement = false;
+
+  /// One-line human summary for demos and logs.
+  std::string summary() const;
+};
+
+/// Fills the per-node rate fields from the raw counters.
+void finalize_rates(ClusterReport& report);
+
+}  // namespace rfd::cluster

@@ -1,0 +1,159 @@
+// One node of the cluster monitoring engine.
+//
+// The cluster layer disseminates *freshness*, not raw heartbeats: every
+// node keeps a monotonically increasing heartbeat counter, bumps it once
+// per heartbeat interval, and ships (id, counter) entries to peers chosen
+// by the dissemination topology. A receiver treats any counter advance for
+// peer j - whether it arrived directly from j or piggybacked through
+// intermediaries - as a heartbeat for its per-peer PeerDetector instance
+// (van Renesse's gossip-style failure detection, composed with the
+// FixedTimeout / ChenAdaptive / PhiAccrual detectors of src/runtime).
+//
+// This unifies all four topologies behind one mechanism:
+//   - direct heartbeats (all-to-all) advance only the sender's entry;
+//   - ring / gossip / hierarchical messages piggyback bounded digests of
+//     other counters, so liveness information spreads transitively;
+//   - false suspicions self-heal: a fresh counter is its own refutation,
+//     so no SWIM-style incarnation machinery is needed - exactly what
+//     makes partition/heal scenarios converge.
+//
+// Per-peer state lives in a flat vector indexed by node id so runs with
+// thousands of nodes stay cache-friendly; detector instances are created
+// lazily on the first counter advance (a node that has never been heard
+// from is covered by the bootstrap grace window instead).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/detectors.hpp"
+#include "runtime/network.hpp"
+
+namespace rfd::cluster {
+
+using rt::NodeId;
+
+struct PeerRecord {
+  bool known = false;
+  double known_since = -1.0;
+  std::int64_t counter = 0;   // freshest heartbeat counter seen for the peer
+  std::unique_ptr<rt::PeerDetector> detector;  // created on first advance
+  // Cached suspicion state, maintained by the engine's check loop so
+  // transitions (trust -> suspect and back) can be counted and timed.
+  bool suspected = false;
+  double suspect_since = -1.0;
+  // Remaining piggyback transmissions while the peer sits in the hot
+  // queue (> 0 <=> queued). See select_digest.
+  int hot_remaining = 0;
+};
+
+struct NodeParams {
+  rt::DetectorParams detector;
+  /// Silence tolerated for a peer that is known (from the membership seed
+  /// list or a digest mention) but has never produced a counter advance.
+  double bootstrap_grace_ms = 1500.0;
+  /// How many times a counter advance is piggybacked before the id falls
+  /// out of the hot queue (SWIM's bounded rumor retransmission).
+  int hot_transmissions = 4;
+};
+
+class ClusterNode {
+ public:
+  ClusterNode(NodeId id, int max_nodes, NodeParams params);
+
+  NodeId id() const { return id_; }
+  int max_nodes() const { return max_nodes_; }
+
+  bool active() const { return active_; }
+  void set_active(bool active) { active_ = active; }
+
+  std::int64_t own_counter() const { return own_counter_; }
+  void advance_own_counter() { ++own_counter_; }
+
+  /// Marks `peer` as a known member (no-op if already known or self).
+  void learn_peer(NodeId peer, double now);
+
+  /// Processes one digest entry (peer, counter) received at `now`; feeds
+  /// the peer's detector if the counter advanced. Returns true on advance.
+  bool observe(NodeId peer, std::int64_t counter, double now);
+
+  /// Current suspicion verdict for `peer` (self is never suspected,
+  /// unknown peers are never suspected).
+  bool suspects(NodeId peer, double now) const;
+
+  bool knows(NodeId peer) const;
+  /// known && !suspected-by-cached-state; self counts as alive. Used by
+  /// topologies for target selection (don't waste fanout on the dead).
+  bool believes_alive(NodeId peer) const;
+
+  /// Appends up to `budget` known peer ids (never self) to `out`.
+  /// Recently advanced peers go first - forwarding fresh counters is what
+  /// makes dissemination epidemic (SWIM piggybacks rumors the same way);
+  /// each advance rides along at most `hot_transmissions` times. Leftover
+  /// budget is filled from a rotating cursor over the whole membership,
+  /// which keeps even quiet or stale entries circulating. `keep` filters
+  /// candidates; filtered-out hot entries stay queued undecremented.
+  template <typename Filter>
+  void select_digest(int budget, Filter&& keep, std::vector<NodeId>& out) {
+    if (budget <= 0 || known_count_ == 0) return;
+    int appended = 0;
+    // Hot pass: drain queued advances front-to-back, compacting out the
+    // entries whose transmission budget is exhausted.
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < hot_queue_.size(); ++read) {
+      const NodeId candidate = hot_queue_[read];
+      PeerRecord& r = peers_[static_cast<std::size_t>(candidate)];
+      if (r.hot_remaining <= 0) continue;  // expired while queued
+      if (appended < budget && keep(candidate)) {
+        out.push_back(candidate);
+        ++appended;
+        --r.hot_remaining;
+        if (r.hot_remaining <= 0) continue;  // drained: drop from queue
+      }
+      hot_queue_[write++] = candidate;
+    }
+    hot_queue_.resize(write);
+    // Rotation pass (an id just taken from the hot queue may repeat; the
+    // receiver treats the duplicate as a no-op).
+    for (int scanned = 0; scanned < max_nodes_ && appended < budget;
+         ++scanned) {
+      digest_cursor_ = (digest_cursor_ + 1) % max_nodes_;
+      const NodeId candidate = static_cast<NodeId>(digest_cursor_);
+      if (candidate == id_) continue;
+      const PeerRecord& r = peers_[static_cast<std::size_t>(candidate)];
+      if (!r.known) continue;
+      if (!keep(candidate)) continue;
+      out.push_back(candidate);
+      ++appended;
+    }
+  }
+
+  /// Forgets all peer state (process restart loses its memory); re-seeds
+  /// membership from `contacts`. The own counter survives because it is
+  /// engine-side simulation state standing in for a persisted epoch.
+  void reset_peers(double now, const std::vector<NodeId>& contacts);
+
+  const PeerRecord& record(NodeId peer) const {
+    return peers_[static_cast<std::size_t>(peer)];
+  }
+  PeerRecord& mutable_record(NodeId peer) {
+    return peers_[static_cast<std::size_t>(peer)];
+  }
+  int known_count() const { return known_count_; }
+
+ private:
+  NodeId id_;
+  int max_nodes_;
+  NodeParams params_;
+  std::vector<PeerRecord> peers_;
+  bool active_ = true;
+  std::int64_t own_counter_ = 0;
+  int digest_cursor_ = 0;
+  int known_count_ = 0;
+  /// Ids with recent counter advances, FIFO; deduplicated via
+  /// PeerRecord::hot_remaining, so its length never exceeds max_nodes_.
+  std::vector<NodeId> hot_queue_;
+};
+
+}  // namespace rfd::cluster

@@ -1,0 +1,139 @@
+#include "cluster/scenario.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rfd::cluster {
+
+Scenario& Scenario::crash(double at_ms, NodeId node) {
+  FaultEvent e;
+  e.at_ms = at_ms;
+  e.kind = FaultKind::kCrash;
+  e.node = node;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::recover(double at_ms, NodeId node) {
+  FaultEvent e;
+  e.at_ms = at_ms;
+  e.kind = FaultKind::kRecover;
+  e.node = node;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::partition(double at_ms,
+                              std::vector<std::vector<NodeId>> groups) {
+  RFD_REQUIRE(groups.size() >= 2);
+  FaultEvent e;
+  e.at_ms = at_ms;
+  e.kind = FaultKind::kPartition;
+  e.groups = std::move(groups);
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::heal(double at_ms) {
+  FaultEvent e;
+  e.at_ms = at_ms;
+  e.kind = FaultKind::kHeal;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::join(double at_ms, NodeId node) {
+  FaultEvent e;
+  e.at_ms = at_ms;
+  e.kind = FaultKind::kJoin;
+  e.node = node;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::leave(double at_ms, NodeId node) {
+  FaultEvent e;
+  e.at_ms = at_ms;
+  e.kind = FaultKind::kLeave;
+  e.node = node;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::delay_storm(double from_ms, double to_ms,
+                                double extra_delay_ms, double delay_prob) {
+  RFD_REQUIRE(to_ms > from_ms);
+  // Storm state on the network is a single scalar pair, so overlapping
+  // windows would silently corrupt each other (the second start replaces
+  // the first's params and the earlier end cancels the later storm).
+  // delay_storm always appends a matched start/end pair, so existing
+  // windows are recoverable by pairing in insertion order.
+  double window_start = -1.0;
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kStormStart) {
+      window_start = e.at_ms;
+    } else if (e.kind == FaultKind::kStormEnd) {
+      RFD_REQUIRE(to_ms <= window_start || e.at_ms <= from_ms);
+      window_start = -1.0;
+    }
+  }
+  FaultEvent start;
+  start.at_ms = from_ms;
+  start.kind = FaultKind::kStormStart;
+  start.extra_delay_ms = extra_delay_ms;
+  start.delay_prob = delay_prob;
+  events.push_back(std::move(start));
+  FaultEvent end;
+  end.at_ms = to_ms;
+  end.kind = FaultKind::kStormEnd;
+  events.push_back(std::move(end));
+  return *this;
+}
+
+std::vector<FaultEvent> Scenario::sorted() const {
+  std::vector<FaultEvent> out = events;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return out;
+}
+
+std::string fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kJoin:
+      return "join";
+    case FaultKind::kLeave:
+      return "leave";
+    case FaultKind::kStormStart:
+      return "storm-start";
+    case FaultKind::kStormEnd:
+      return "storm-end";
+  }
+  return "?";
+}
+
+Scenario multi_crash_scenario(int n, int crashes, double at_ms) {
+  RFD_REQUIRE(crashes >= 0 && crashes < n);
+  Scenario s;
+  // Victims spread across the id space so hierarchical clusters and ring
+  // neighbourhoods each lose at most a few members.
+  for (int i = 0; i < crashes; ++i) {
+    const NodeId victim =
+        static_cast<NodeId>((static_cast<std::int64_t>(i) * n) / crashes +
+                            n / (2 * crashes));
+    s.crash(at_ms, victim);
+  }
+  return s;
+}
+
+}  // namespace rfd::cluster

@@ -1,0 +1,70 @@
+// Scripted fault injection for the cluster engine.
+//
+// A Scenario is a time-ordered list of fault events replayed against the
+// running cluster: crashes, crash-recoveries, network partitions and
+// heals, churn (joins and silent leaves), and delay storms. Scenarios are
+// plain data - the engine interprets them - so experiments are scriptable
+// and bit-for-bit reproducible under a fixed seed.
+//
+// Builders return *this so scripts read like a timeline:
+//
+//   Scenario s;
+//   s.partition(5'000, {{0,1,2,3},{4,5,6,7}})
+//    .crash(8'000, 2)
+//    .heal(12'000)
+//    .delay_storm(20'000, 25'000, 300.0, 0.5);
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/network.hpp"
+
+namespace rfd::cluster {
+
+using rt::NodeId;
+
+enum class FaultKind {
+  kCrash,        // node stops sending and receiving (fail-stop)
+  kRecover,      // crashed node restarts with empty peer memory
+  kPartition,    // install component masks on the network
+  kHeal,         // remove the partition
+  kJoin,         // a fresh node id becomes active and contacts the cluster
+  kLeave,        // node departs silently (indistinguishable from a crash)
+  kStormStart,   // extra per-message delay with some probability
+  kStormEnd,
+};
+
+struct FaultEvent {
+  double at_ms = 0.0;
+  FaultKind kind = FaultKind::kCrash;
+  NodeId node = -1;                          // crash/recover/join/leave
+  std::vector<std::vector<NodeId>> groups;   // partition
+  double extra_delay_ms = 0.0;               // storm
+  double delay_prob = 1.0;                   // storm
+};
+
+struct Scenario {
+  std::vector<FaultEvent> events;
+
+  Scenario& crash(double at_ms, NodeId node);
+  Scenario& recover(double at_ms, NodeId node);
+  Scenario& partition(double at_ms, std::vector<std::vector<NodeId>> groups);
+  Scenario& heal(double at_ms);
+  Scenario& join(double at_ms, NodeId node);
+  Scenario& leave(double at_ms, NodeId node);
+  Scenario& delay_storm(double from_ms, double to_ms, double extra_delay_ms,
+                        double delay_prob);
+
+  /// Events sorted by time (stable, so same-time events keep script order).
+  std::vector<FaultEvent> sorted() const;
+};
+
+std::string fault_kind_name(FaultKind kind);
+
+/// Canned scenario: crash `crashes` distinct nodes (spread over the id
+/// space) at `at_ms`. Handy for the scaling bench.
+Scenario multi_crash_scenario(int n, int crashes, double at_ms);
+
+}  // namespace rfd::cluster

@@ -1,0 +1,286 @@
+#include "cluster/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rfd::cluster {
+namespace {
+
+/// Counters worth forwarding: a zero counter carries no liveness evidence.
+bool has_freshness(const ClusterNode& node, NodeId peer) {
+  return node.record(peer).counter > 0;
+}
+
+class AllToAllTopology final : public Topology {
+ public:
+  std::string name() const override { return "all-to-all"; }
+
+  void targets(ClusterNode& node, Rng& /*rng*/,
+               std::vector<NodeId>& out) override {
+    for (NodeId j = 0; j < node.max_nodes(); ++j) {
+      if (j != node.id() && node.knows(j)) out.push_back(j);
+    }
+  }
+
+  void digest(ClusterNode& /*node*/, NodeId /*target*/,
+              std::vector<NodeId>& /*out*/) override {
+    // Every peer is monitored directly; piggybacking adds nothing.
+  }
+};
+
+class RingTopology final : public Topology {
+ public:
+  explicit RingTopology(const TopologyParams& params) : params_(params) {}
+
+  std::string name() const override {
+    return "ring(k=" + std::to_string(params_.ring_successors) + ")";
+  }
+
+  void targets(ClusterNode& node, Rng& /*rng*/,
+               std::vector<NodeId>& out) override {
+    // The k nearest live-believed successors in cyclic id order, so the
+    // ring routes around members it considers dead. Falls back to known
+    // successors when everyone looks dead (e.g. right after a restart).
+    pick_successors(node, out, /*require_alive=*/true);
+    if (out.empty()) pick_successors(node, out, /*require_alive=*/false);
+    // Always heartbeat the immediate known successor too, suspected or
+    // not: a healed partition can only re-merge through a node willing to
+    // talk across the old cut.
+    const int n = node.max_nodes();
+    for (int step = 1; step < n; ++step) {
+      const NodeId j = static_cast<NodeId>(
+          (static_cast<int>(node.id()) + step) % n);
+      if (!node.knows(j)) continue;
+      if (std::find(out.begin(), out.end(), j) == out.end()) {
+        out.push_back(j);
+      }
+      break;
+    }
+  }
+
+  void digest(ClusterNode& node, NodeId /*target*/,
+              std::vector<NodeId>& out) override {
+    node.select_digest(
+        params_.digest_size,
+        [&](NodeId j) { return has_freshness(node, j); }, out);
+  }
+
+ private:
+  void pick_successors(ClusterNode& node, std::vector<NodeId>& out,
+                       bool require_alive) const {
+    const int n = node.max_nodes();
+    for (int step = 1;
+         step < n && static_cast<int>(out.size()) < params_.ring_successors;
+         ++step) {
+      const NodeId j = static_cast<NodeId>(
+          (static_cast<int>(node.id()) + step) % n);
+      if (!node.knows(j)) continue;
+      if (require_alive && !node.believes_alive(j)) continue;
+      out.push_back(j);
+    }
+  }
+
+  TopologyParams params_;
+};
+
+class GossipTopology final : public Topology {
+ public:
+  explicit GossipTopology(const TopologyParams& params) : params_(params) {}
+
+  std::string name() const override {
+    return "gossip(f=" + std::to_string(params_.gossip_fanout) + ")";
+  }
+
+  void targets(ClusterNode& node, Rng& rng,
+               std::vector<NodeId>& out) override {
+    scratch_.clear();
+    doubtful_.clear();
+    for (NodeId j = 0; j < node.max_nodes(); ++j) {
+      if (j == node.id() || !node.knows(j)) continue;
+      if (node.believes_alive(j)) {
+        scratch_.push_back(j);
+      } else {
+        doubtful_.push_back(j);
+      }
+    }
+    if (scratch_.empty()) std::swap(scratch_, doubtful_);
+    const int fanout = params_.gossip_fanout;
+    const int count = static_cast<int>(scratch_.size());
+    if (count <= fanout) {
+      out.insert(out.end(), scratch_.begin(), scratch_.end());
+    } else {
+      // Partial Fisher-Yates: the first `fanout` slots become a uniform
+      // sample without replacement.
+      for (int i = 0; i < fanout; ++i) {
+        const std::int64_t j = i + rng.below(count - i);
+        std::swap(scratch_[static_cast<std::size_t>(i)],
+                  scratch_[static_cast<std::size_t>(j)]);
+        out.push_back(scratch_[static_cast<std::size_t>(i)]);
+      }
+    }
+    // Occasionally poke a peer believed dead: the only way a false
+    // suspicion (e.g. the far side of a healed partition) can ever be
+    // refuted is by re-establishing contact.
+    if (!doubtful_.empty() && rng.chance(params_.gossip_resurrect_prob)) {
+      out.push_back(doubtful_[static_cast<std::size_t>(
+          rng.below(static_cast<std::int64_t>(doubtful_.size())))]);
+    }
+  }
+
+  void digest(ClusterNode& node, NodeId /*target*/,
+              std::vector<NodeId>& out) override {
+    node.select_digest(
+        params_.digest_size,
+        [&](NodeId j) { return has_freshness(node, j); }, out);
+  }
+
+ private:
+  TopologyParams params_;
+  std::vector<NodeId> scratch_;
+  std::vector<NodeId> doubtful_;
+};
+
+class HierarchicalTopology final : public Topology {
+ public:
+  HierarchicalTopology(const TopologyParams& params, int max_nodes)
+      : params_(params), max_nodes_(max_nodes) {
+    cluster_size_ = params.cluster_size > 0
+                        ? params.cluster_size
+                        : static_cast<int>(std::ceil(std::sqrt(
+                              static_cast<double>(max_nodes))));
+    cluster_size_ = std::max(cluster_size_, 2);
+  }
+
+  std::string name() const override {
+    return "hierarchical(c=" + std::to_string(cluster_size_) + ")";
+  }
+
+  void targets(ClusterNode& node, Rng& /*rng*/,
+               std::vector<NodeId>& out) override {
+    const int own = cluster_of(node.id());
+    // Intra-cluster: all-to-all with known cluster-mates.
+    for (NodeId j = cluster_lo(own); j < cluster_hi(own); ++j) {
+      if (j != node.id() && node.knows(j)) out.push_back(j);
+    }
+    // Inter-cluster: the two lowest own-cluster members this node
+    // believes alive act as leaders (a primary alone would leave every
+    // foreign observer blind to this cluster for a full takeover window
+    // whenever the primary crashes), each contacting its best guess of
+    // every other cluster's two leaders.
+    if (!acts_as_leader(node, own)) return;
+    const int clusters = (max_nodes_ + cluster_size_ - 1) / cluster_size_;
+    for (int g = 0; g < clusters; ++g) {
+      if (g == own) continue;
+      append_presumed_leaders(node, g, out);
+    }
+  }
+
+  void digest(ClusterNode& node, NodeId target,
+              std::vector<NodeId>& out) override {
+    const int own = cluster_of(node.id());
+    if (cluster_of(target) == own) {
+      // Inside the cluster everyone is monitored directly; the payload
+      // budget goes to foreign counters so members converge on crashes
+      // in other clusters without ever talking to them.
+      node.select_digest(
+          params_.digest_size,
+          [&](NodeId j) {
+            return cluster_of(j) != own && has_freshness(node, j);
+          },
+          out);
+    } else {
+      // Leader-to-leader: summarize the sender's own cluster.
+      node.select_digest(
+          params_.digest_size,
+          [&](NodeId j) {
+            return cluster_of(j) == own && has_freshness(node, j);
+          },
+          out);
+    }
+  }
+
+ private:
+  int cluster_of(NodeId j) const { return static_cast<int>(j) / cluster_size_; }
+  NodeId cluster_lo(int g) const {
+    return static_cast<NodeId>(g * cluster_size_);
+  }
+  NodeId cluster_hi(int g) const {
+    return static_cast<NodeId>(
+        std::min((g + 1) * cluster_size_, max_nodes_));
+  }
+
+  static constexpr int kLeadersPerCluster = 2;
+
+  bool acts_as_leader(const ClusterNode& node, int g) const {
+    int rank = 0;
+    for (NodeId j = cluster_lo(g); j < cluster_hi(g); ++j) {
+      if (j == node.id()) return true;
+      if (node.believes_alive(j) && ++rank >= kLeadersPerCluster) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  void append_presumed_leaders(const ClusterNode& node, int g,
+                               std::vector<NodeId>& out) const {
+    int found = 0;
+    for (NodeId j = cluster_lo(g); j < cluster_hi(g); ++j) {
+      if (node.knows(j) && node.believes_alive(j)) {
+        out.push_back(j);
+        if (++found >= kLeadersPerCluster) return;
+      }
+    }
+    if (found > 0) return;
+    // Everyone there looks dead; poke the lowest known member anyway so
+    // a healed partition can re-establish contact.
+    for (NodeId j = cluster_lo(g); j < cluster_hi(g); ++j) {
+      if (node.knows(j)) {
+        out.push_back(j);
+        return;
+      }
+    }
+  }
+
+  TopologyParams params_;
+  int max_nodes_;
+  int cluster_size_;
+};
+
+}  // namespace
+
+std::unique_ptr<Topology> make_topology(const TopologyParams& params,
+                                        int max_nodes) {
+  RFD_REQUIRE(max_nodes >= 2);
+  switch (params.kind) {
+    case TopologyKind::kAllToAll:
+      return std::make_unique<AllToAllTopology>();
+    case TopologyKind::kRing:
+      RFD_REQUIRE(params.ring_successors >= 1);
+      return std::make_unique<RingTopology>(params);
+    case TopologyKind::kGossip:
+      RFD_REQUIRE(params.gossip_fanout >= 1);
+      return std::make_unique<GossipTopology>(params);
+    case TopologyKind::kHierarchical:
+      return std::make_unique<HierarchicalTopology>(params, max_nodes);
+  }
+  RFD_UNREACHABLE("unknown topology kind");
+}
+
+std::string topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kAllToAll:
+      return "all-to-all";
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kGossip:
+      return "gossip";
+    case TopologyKind::kHierarchical:
+      return "hierarchical";
+  }
+  return "?";
+}
+
+}  // namespace rfd::cluster

@@ -94,8 +94,14 @@ double PhiAccrualDetector::phi(double now) const {
 }
 
 bool PhiAccrualDetector::suspects(double now) const {
-  if (last_heartbeat_ < 0.0 || intervals_.empty()) {
+  if (last_heartbeat_ < 0.0) {
+    // Grace period measured from time 0 until the first heartbeat.
     return now > params_.fallback_timeout_ms;
+  }
+  if (intervals_.empty()) {
+    // One heartbeat seen, no interval yet: fall back to a fixed window
+    // from that arrival (mirrors ChenAdaptiveDetector's warm-up).
+    return now - last_heartbeat_ > params_.fallback_timeout_ms;
   }
   return phi(now) > params_.threshold;
 }

@@ -1,5 +1,7 @@
 #include "runtime/network.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace rfd::rt {
@@ -18,12 +20,63 @@ double Network::sample_delay() {
       rng_.chance(params_.pre_gst_chaos_prob)) {
     delay += params_.pre_gst_extra_ms;
   }
+  if (storm_extra_ms_ > 0.0 && rng_.chance(storm_prob_)) {
+    delay += storm_extra_ms_;
+  }
   return delay;
 }
 
-void Network::send(NodeId /*from*/, NodeId /*to*/,
-                   std::function<void()> deliver) {
+int Network::component_of(NodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= component_.size()) {
+    return 0;
+  }
+  const int c = component_[static_cast<std::size_t>(node)];
+  return c < 0 ? 0 : c;
+}
+
+void Network::set_partition(const std::vector<std::vector<NodeId>>& groups) {
+  RFD_REQUIRE(!groups.empty());
+  component_.clear();
+  NodeId max_node = -1;
+  for (const auto& group : groups) {
+    for (NodeId node : group) {
+      RFD_REQUIRE(node >= 0);
+      max_node = std::max(max_node, node);
+    }
+  }
+  component_.assign(static_cast<std::size_t>(max_node + 1), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId node : groups[g]) {
+      component_[static_cast<std::size_t>(node)] = static_cast<int>(g);
+    }
+  }
+}
+
+void Network::clear_partition() { component_.clear(); }
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  if (component_.empty()) return false;
+  return component_of(a) != component_of(b);
+}
+
+void Network::set_storm(double extra_ms, double prob) {
+  RFD_REQUIRE(extra_ms >= 0.0);
+  storm_extra_ms_ = extra_ms;
+  storm_prob_ = prob;
+}
+
+void Network::clear_storm() {
+  storm_extra_ms_ = 0.0;
+  storm_prob_ = 0.0;
+}
+
+void Network::send(NodeId from, NodeId to, std::function<void()> deliver) {
   ++sent_;
+  if (partitioned(from, to)) {
+    ++dropped_;
+    ++partition_dropped_;
+    return;
+  }
   if (rng_.chance(params_.loss_prob)) {
     ++dropped_;
     return;

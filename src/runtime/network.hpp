@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "runtime/event_queue.hpp"
@@ -34,21 +35,50 @@ class Network {
 
   /// Sends a message; `deliver` runs at the arrival time unless the
   /// message is dropped. Delivery respects per-message independent delay
-  /// (no FIFO guarantee, like UDP heartbeats).
+  /// (no FIFO guarantee, like UDP heartbeats). While a partition is
+  /// installed, messages crossing component boundaries are dropped.
   void send(NodeId from, NodeId to, std::function<void()> deliver);
 
   /// One sample of the current delay distribution (for analysis).
   double sample_delay();
 
+  /// Installs a partition: nodes in different `groups` entries cannot
+  /// exchange messages until heal. Nodes absent from every group behave
+  /// as members of groups[0]. Replaces any previous partition.
+  void set_partition(const std::vector<std::vector<NodeId>>& groups);
+
+  /// Removes the partition; all links work again.
+  void clear_partition();
+
+  /// Whether a message from `a` to `b` currently crosses a partition cut.
+  bool partitioned(NodeId a, NodeId b) const;
+
+  /// Starts a delay storm: until cleared, each message independently
+  /// suffers `extra_ms` additional delay with probability `prob`. Models
+  /// transient congestion episodes (the pre-GST penalty is the permanent
+  /// variant; this one is scriptable mid-run).
+  void set_storm(double extra_ms, double prob);
+  void clear_storm();
+
   std::int64_t sent() const { return sent_; }
   std::int64_t dropped() const { return dropped_; }
+  /// Drops attributable to the installed partition (subset of dropped()).
+  std::int64_t partition_dropped() const { return partition_dropped_; }
 
  private:
+  int component_of(NodeId node) const;
+
   EventQueue* queue_;
   Rng rng_;
   NetworkParams params_;
   std::int64_t sent_ = 0;
   std::int64_t dropped_ = 0;
+  std::int64_t partition_dropped_ = 0;
+  /// Empty: no partition. Otherwise component id per node; nodes beyond
+  /// the vector (or unlisted, marked -1) belong to component 0.
+  std::vector<int> component_;
+  double storm_extra_ms_ = 0.0;
+  double storm_prob_ = 0.0;
 };
 
 }  // namespace rfd::rt
