@@ -1,6 +1,8 @@
 #include "cluster/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -11,8 +13,24 @@
 namespace rfd::cluster {
 namespace {
 
-using Entry = std::pair<NodeId, std::int64_t>;
+// Digest payload entry. Counters ride as 32 bits - ClusterNode bounds
+// its own counter accordingly - halving payload buffer traffic.
+using Entry = std::pair<NodeId, std::int32_t>;
 
+// Suspicion tracking is incremental: instead of rescanning all
+// n*(n-1) (observer, victim) pairs every check interval, each known pair
+// keeps one expiry deadline on a wheel keyed by check-tick index
+// (PeerRecord::eval_tick + the tick -> pairs buckets below). A pair is
+// touched only when its deadline tick arrives or a counter advance moves
+// its deadline, so the per-tick cost is O(advances + expiries) instead of
+// O(n^2). Verdicts are still sampled with the same suspects(now) calls at
+// the same check-tick times as the old full scan - suspicion is monotone
+// between heartbeats, so a pair's verdict can only change at a counter
+// advance (which re-arms it) or past its deadline (where it is armed) -
+// which keeps every reported metric bit-for-bit identical on a fixed
+// seed. Cluster-wide agreement is a disagreeing-pair counter maintained
+// on every cached-verdict flip and ground-truth change, replacing the
+// full-scan reduction.
 class ClusterEngine {
  public:
   ClusterEngine(const ClusterConfig& config, std::uint64_t seed)
@@ -49,7 +67,9 @@ class ClusterEngine {
     // The initial membership list is configuration, not discovery.
     for (NodeId i = 0; i < config_.n; ++i) {
       for (NodeId j = 0; j < config_.n; ++j) {
-        if (i != j) nodes_[static_cast<std::size_t>(i)].learn_peer(j, 0.0);
+        if (i == j) continue;
+        nodes_[static_cast<std::size_t>(i)].learn_peer(j, 0.0);
+        on_learned(i, j);
       }
     }
 
@@ -78,6 +98,86 @@ class ClusterEngine {
   }
 
  private:
+  bool truly_down(NodeId j) const {
+    return ever_active_[static_cast<std::size_t>(j)] &&
+           !truth_active_[static_cast<std::size_t>(j)];
+  }
+
+  std::vector<Entry> take_entries() {
+    if (entry_pool_.empty()) return {};
+    std::vector<Entry> buffer = std::move(entry_pool_.back());
+    entry_pool_.pop_back();
+    return buffer;
+  }
+
+  std::uint64_t pair_key(NodeId i, NodeId j) const {
+    return static_cast<std::uint64_t>(i) *
+               static_cast<std::uint64_t>(max_nodes_) +
+           static_cast<std::uint64_t>(j);
+  }
+
+  /// Arms pair (i, j) for evaluation at check tick `tick` (clamped to the
+  /// next tick). Earliest arming wins; superseded bucket entries are
+  /// skipped via the eval_tick mismatch when their tick comes up.
+  void arm_pair(NodeId i, NodeId j, std::int64_t tick) {
+    tick = std::max(tick, check_tick_ + 1);
+    ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
+    const std::int64_t current = node.eval_tick(j);
+    if (current >= 0 && current <= tick) return;
+    node.set_eval_tick(j, tick);
+    eval_buckets_[tick].push_back(pair_key(i, j));
+  }
+
+  /// Check tick at which deadline `at` could first flip a verdict. One
+  /// tick early on purpose: arming early costs one extra suspects()
+  /// query, arming late would miss the tick the full scan would have
+  /// caught.
+  std::int64_t deadline_tick(double at) const {
+    return static_cast<std::int64_t>(
+               std::floor(at / config_.check_interval_ms)) -
+           1;
+  }
+
+  void arm_deadline(NodeId i, NodeId j) {
+    const double deadline =
+        nodes_[static_cast<std::size_t>(i)].suspect_deadline(j);
+    if (!std::isfinite(deadline)) return;
+    arm_pair(i, j, deadline_tick(deadline));
+  }
+
+  /// Bookkeeping when observer `i` first learns that `j` exists: the
+  /// fresh record is unsuspected, and the pair expires at the end of the
+  /// bootstrap grace window unless a counter advance arrives first.
+  void on_learned(NodeId i, NodeId j) {
+    if (nodes_[static_cast<std::size_t>(i)].active() && truly_down(j)) {
+      ++disagreeing_pairs_;
+    }
+    arm_deadline(i, j);
+  }
+
+  /// Adds (sign=+1) or removes (sign=-1) observer row `i`'s known pairs
+  /// from the disagreement count, when the row enters or leaves the set
+  /// of live observers.
+  void count_row(NodeId i, int sign) {
+    const ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
+    for (NodeId j = 0; j < max_nodes_; ++j) {
+      if (j == i || !node.knows(j)) continue;
+      if (node.is_suspected(j) != truly_down(j)) disagreeing_pairs_ += sign;
+    }
+  }
+
+  /// Re-scores column `j` after truly_down(j) flipped; call with the
+  /// truth arrays already updated. Only live observer rows count.
+  void rescore_column(NodeId j) {
+    const bool down = truly_down(j);
+    for (NodeId i = 0; i < max_nodes_; ++i) {
+      const ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
+      if (i == j || !node.active() || !node.knows(j)) continue;
+      disagreeing_pairs_ += (node.is_suspected(j) != down) ? 1 : 0;
+      disagreeing_pairs_ -= (node.is_suspected(j) != !down) ? 1 : 0;
+    }
+  }
+
   void pump(NodeId i) {
     ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
     if (node.active()) {
@@ -88,18 +188,35 @@ class ClusterEngine {
       for (NodeId target : targets_scratch_) {
         digest_scratch_.clear();
         topology_->digest(node, target, digest_scratch_);
-        std::vector<Entry> entries;
-        entries.reserve(digest_scratch_.size() + 1);
-        entries.emplace_back(i, node.own_counter());
-        for (NodeId j : digest_scratch_) {
-          entries.emplace_back(j, node.record(j).counter);
-        }
         report_.digest_entries_sent +=
             static_cast<std::int64_t>(digest_scratch_.size());
-        network_.send(i, target,
-                      [this, target, entries = std::move(entries)] {
-                        receive(target, entries);
-                      });
+        // Draw the drop verdict before materializing anything: a lost or
+        // partitioned message must cost neither an entries vector nor an
+        // event. The digest above still runs unconditionally - selection
+        // rotates hot-queue state, and a real sender pays that work (and
+        // the bandwidth) whether or not the packet survives.
+        const std::optional<double> delay = network_.route(i, target);
+        if (!delay) continue;
+        std::vector<Entry> entries = take_entries();
+        const std::size_t digest_size = digest_scratch_.size();
+        entries.reserve(digest_size + 1);
+        entries.emplace_back(i,
+                             static_cast<std::int32_t>(node.own_counter()));
+        for (std::size_t k = 0; k < digest_size; ++k) {
+          if (k + 8 < digest_size) {
+            node.prefetch_peer(digest_scratch_[k + 8]);
+          }
+          const NodeId j = digest_scratch_[k];
+          entries.emplace_back(j, node.counter(j));
+        }
+        // The buffer rides in the closure and returns to the pool after
+        // delivery, so steady state allocates nothing per message.
+        queue_.schedule_in(
+            *delay, [this, target, entries = std::move(entries)]() mutable {
+              receive(target, entries);
+              entries.clear();
+              entry_pool_.push_back(std::move(entries));
+            });
       }
     }
     queue_.schedule_in(config_.heartbeat_interval_ms, [this, i] { pump(i); });
@@ -109,35 +226,75 @@ class ClusterEngine {
     ClusterNode& node = nodes_[static_cast<std::size_t>(to)];
     if (!node.active()) return;
     const double now = queue_.now();
-    for (const Entry& entry : entries) {
-      node.observe(entry.first, entry.second, now);
+    const bool monotone = node.deadline_monotone();
+    const std::size_t count = entries.size();
+    for (std::size_t k = 0; k < count; ++k) {
+      // The upcoming entries' peer slots are random indices; hint them a
+      // few iterations ahead so observe() doesn't stall on the load.
+      if (k + 8 < count) node.prefetch_peer(entries[k + 8].first);
+      const Entry& entry = entries[k];
+      const NodeId peer = entry.first;
+      const ObserveResult obs = node.observe(peer, entry.second, now);
+      if (obs.newly_known) on_learned(to, peer);
+      if (obs.advanced) {
+        // The advance is this pair's heartbeat: its deadline moved. A
+        // suspected pair must be re-judged at the very next tick (the
+        // advance is its refutation); an unsuspected pair gets its
+        // deadline re-registered - unless the detector's deadline is
+        // monotone and the pair is already armed, where re-arming is
+        // provably a no-op (arm_pair keeps the earliest tick and the new
+        // deadline can only be later), so the re-query is skipped. A
+        // freshly started detector always re-arms: its deadline family
+        // changed from the grace window, which monotonicity says nothing
+        // about.
+        if (node.is_suspected(peer)) {
+          arm_pair(to, peer, check_tick_ + 1);
+        } else if (!monotone || obs.started_detector ||
+                   !node.armed(peer)) {
+          arm_deadline(to, peer);
+        }
+      }
     }
+  }
+
+  void evaluate_pair(std::uint64_t key, double now) {
+    const NodeId i = static_cast<NodeId>(
+        key / static_cast<std::uint64_t>(max_nodes_));
+    const NodeId j = static_cast<NodeId>(
+        key % static_cast<std::uint64_t>(max_nodes_));
+    ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
+    if (node.eval_tick(j) != check_tick_) return;  // superseded arming
+    node.set_eval_tick(j, -1);
+    // A crashed observer's cached state is frozen until it resets; a
+    // wiped record re-arms when the peer is re-learned.
+    if (!node.active() || !node.knows(j)) return;
+    const bool down = truly_down(j);
+    const bool was_suspected = node.is_suspected(j);
+    const bool suspected = node.suspects(j, now);
+    if (suspected != was_suspected) {
+      disagreeing_pairs_ += (suspected != down) ? 1 : 0;
+      disagreeing_pairs_ -= (was_suspected != down) ? 1 : 0;
+      node.set_suspected(j, suspected, suspected ? now : -1.0);
+      if (suspected && !down) ++report_.false_suspicions;
+    }
+    // Unsuspected pairs always hold a future deadline; suspected pairs
+    // sleep until a counter advance refutes them.
+    if (!suspected) arm_deadline(i, j);
   }
 
   void check() {
     const double now = queue_.now();
-    bool all_agree = true;
-    for (NodeId i = 0; i < max_nodes_; ++i) {
-      ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
-      if (!node.active()) continue;
-      for (NodeId j = 0; j < max_nodes_; ++j) {
-        if (j == i) continue;
-        PeerRecord& r = node.mutable_record(j);
-        const bool truly_down = ever_active_[static_cast<std::size_t>(j)] &&
-                                !truth_active_[static_cast<std::size_t>(j)];
-        if (!r.known) {
-          // Ignorance of a node it never met is consistent either way.
-          continue;
-        }
-        const bool suspected = node.suspects(j, now);
-        if (suspected != r.suspected) {
-          r.suspected = suspected;
-          r.suspect_since = suspected ? now : -1.0;
-          if (suspected && !truly_down) ++report_.false_suspicions;
-        }
-        if (suspected != truly_down) all_agree = false;
+    ++check_tick_;
+    const auto it = eval_buckets_.find(check_tick_);
+    if (it != eval_buckets_.end()) {
+      bucket_scratch_.swap(it->second);
+      eval_buckets_.erase(it);
+      for (const std::uint64_t key : bucket_scratch_) {
+        evaluate_pair(key, now);
       }
+      bucket_scratch_.clear();
     }
+    const bool all_agree = disagreeing_pairs_ == 0;
     if (all_agree && agreed_version_ < truth_version_) {
       report_.convergence_ms.add(now - truth_change_time_);
       agreed_version_ = truth_version_;
@@ -163,6 +320,17 @@ class ClusterEngine {
     ++report_.disruptions;
   }
 
+  /// Rejoins node `x` with a wiped peer table seeded from `contacts`,
+  /// re-arming the grace deadline of every seeded pair. The caller
+  /// activates the row and counts it afterwards.
+  void reseed_peers(NodeId x, double now,
+                    const std::vector<NodeId>& contacts) {
+    nodes_[static_cast<std::size_t>(x)].reset_peers(now, contacts);
+    for (NodeId contact : contacts) {
+      if (contact != x) arm_deadline(x, contact);
+    }
+  }
+
   void apply(const FaultEvent& event) {
     const double now = queue_.now();
     switch (event.kind) {
@@ -171,9 +339,11 @@ class ClusterEngine {
         const NodeId j = event.node;
         RFD_REQUIRE(j >= 0 && j < max_nodes_);
         if (!truth_active_[static_cast<std::size_t>(j)]) return;
+        count_row(j, -1);  // the dead row leaves the agreement set
         truth_active_[static_cast<std::size_t>(j)] = false;
         down_since_[static_cast<std::size_t>(j)] = now;
         nodes_[static_cast<std::size_t>(j)].set_active(false);
+        rescore_column(j);
         bump_truth(now);
         break;
       }
@@ -186,11 +356,13 @@ class ClusterEngine {
         }
         truth_active_[static_cast<std::size_t>(j)] = true;
         down_since_[static_cast<std::size_t>(j)] = -1.0;
+        rescore_column(j);
         ClusterNode& node = nodes_[static_cast<std::size_t>(j)];
         // A restarted process lost its peer memory; it rejoins from the
         // current membership the way a provisioning system would seed it.
-        node.reset_peers(now, active_contacts());
+        reseed_peers(j, now, active_contacts());
         node.set_active(true);
+        count_row(j, +1);
         bump_truth(now);
         break;
       }
@@ -201,8 +373,9 @@ class ClusterEngine {
         ever_active_[static_cast<std::size_t>(j)] = true;
         truth_active_[static_cast<std::size_t>(j)] = true;
         ClusterNode& node = nodes_[static_cast<std::size_t>(j)];
-        node.reset_peers(now, active_contacts());
+        reseed_peers(j, now, active_contacts());
         node.set_active(true);
+        count_row(j, +1);
         // The join itself does not change the true crashed set, so it is
         // not a disruption to converge from.
         break;
@@ -228,27 +401,27 @@ class ClusterEngine {
 
   void finalize() {
     for (NodeId j = 0; j < max_nodes_; ++j) {
-      const bool truly_down = ever_active_[static_cast<std::size_t>(j)] &&
-                              !truth_active_[static_cast<std::size_t>(j)];
-      if (!truly_down || down_since_[static_cast<std::size_t>(j)] < 0.0) {
+      const bool down = truly_down(j);
+      if (!down || down_since_[static_cast<std::size_t>(j)] < 0.0) {
         continue;
       }
       const double down_at = down_since_[static_cast<std::size_t>(j)];
       for (NodeId i = 0; i < max_nodes_; ++i) {
         if (i == j || !truth_active_[static_cast<std::size_t>(i)]) continue;
-        const PeerRecord& r =
-            nodes_[static_cast<std::size_t>(i)].record(j);
-        if (!r.known) continue;  // never met the victim; not a miss
-        if (r.suspected) {
+        const ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
+        if (!node.knows(j)) continue;  // never met the victim; not a miss
+        if (node.is_suspected(j)) {
           // A suspicion already standing at crash time detects "instantly"
           // from the abstraction's point of view.
           report_.detection_latency_ms.add(
-              std::max(0.0, r.suspect_since - down_at));
+              std::max(0.0, node.record(j).suspect_since - down_at));
         } else {
           ++report_.missed_detections;
         }
       }
     }
+    report_.events_executed = queue_.executed();
+    report_.peak_event_queue = static_cast<std::int64_t>(queue_.peak_size());
     report_.messages_sent = network_.sent();
     report_.messages_dropped = network_.dropped();
     report_.partition_dropped = network_.partition_dropped();
@@ -275,9 +448,19 @@ class ClusterEngine {
   double truth_change_time_ = 0.0;
   bool last_agreement_ = true;
 
+  // Incremental suspicion state: deadline wheel over check ticks plus the
+  // maintained count of (live observer, known victim) pairs whose cached
+  // verdict contradicts the ground truth.
+  std::unordered_map<std::int64_t, std::vector<std::uint64_t>> eval_buckets_;
+  std::int64_t check_tick_ = 0;
+  std::int64_t disagreeing_pairs_ = 0;
+
   ClusterReport report_;
   std::vector<NodeId> targets_scratch_;
   std::vector<NodeId> digest_scratch_;
+  std::vector<std::uint64_t> bucket_scratch_;
+  /// Recycled digest-payload buffers (see pump).
+  std::vector<std::vector<Entry>> entry_pool_;
 };
 
 }  // namespace

@@ -31,6 +31,11 @@ struct ClusterReport {
   double messages_per_node_per_s = 0.0;
   double entries_per_node_per_s = 0.0;
 
+  // Simulation-core throughput inputs (filled by the engine; the E12
+  // bench divides events by wall-clock to get events/sec).
+  std::int64_t events_executed = 0;
+  std::int64_t peak_event_queue = 0;
+
   // Detection quality. One latency sample per (live observer, crashed
   // victim) pair, measured crash -> start of the suspicion that still
   // stands at the end of the run; quantized to the check interval.

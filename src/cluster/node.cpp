@@ -1,93 +1,42 @@
 #include "cluster/node.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace rfd::cluster {
 
 ClusterNode::ClusterNode(NodeId id, int max_nodes, NodeParams params)
     : id_(id), max_nodes_(max_nodes), params_(params),
-      peers_(static_cast<std::size_t>(max_nodes)),
+      counters_(static_cast<std::size_t>(max_nodes), 0),
+      hot_(static_cast<std::size_t>(max_nodes)),
+      eval_tick_(static_cast<std::size_t>(max_nodes), -1),
+      records_(static_cast<std::size_t>(max_nodes)),
       digest_cursor_(static_cast<int>(id) % max_nodes) {
   RFD_REQUIRE(id >= 0 && id < max_nodes);
   RFD_REQUIRE(params_.bootstrap_grace_ms > 0.0);
   // 0 would re-queue a peer on every observe() without any topology ever
-  // draining it - unbounded hot-queue growth.
-  RFD_REQUIRE(params_.hot_transmissions >= 1);
-}
-
-void ClusterNode::learn_peer(NodeId peer, double now) {
-  if (peer == id_ || peer < 0 || peer >= max_nodes_) return;
-  PeerRecord& r = peers_[static_cast<std::size_t>(peer)];
-  if (r.known) return;
-  r.known = true;
-  r.known_since = now;
-  ++known_count_;
-}
-
-bool ClusterNode::observe(NodeId peer, std::int64_t counter, double now) {
-  if (peer == id_ || peer < 0 || peer >= max_nodes_) return false;
-  learn_peer(peer, now);
-  PeerRecord& r = peers_[static_cast<std::size_t>(peer)];
-  // A zero counter carries membership information (handled by learn_peer)
-  // but no liveness evidence; a stale counter carries neither.
-  if (counter <= 0 || counter <= r.counter) return false;
-  if (r.detector == nullptr && r.counter == 0) {
-    // First-ever counter for this peer: it proves membership, not
-    // liveness - a gossiped value can be arbitrarily stale (e.g. the
-    // final counter of a long-dead node still circulating in digests,
-    // arriving at a freshly reset or joined observer). Record it as the
-    // high-water mark and keep forwarding it (dissemination is how the
-    // cluster bootstraps), but do not feed the detector: only an advance
-    // beyond this mark is heartbeat evidence. A live peer advances
-    // within one interval, so trust costs one round of warm-up; a dead
-    // one never advances and falls to the bootstrap grace window.
-    r.counter = counter;
-    if (r.hot_remaining <= 0) hot_queue_.push_back(peer);
-    r.hot_remaining = params_.hot_transmissions;
-    return false;
+  // draining it - unbounded hot-queue growth; the count is stored as one
+  // dense byte per peer, hence the upper bound.
+  RFD_REQUIRE(params_.hot_transmissions >= 1 &&
+              params_.hot_transmissions <= 127);
+  if (params_.detector.kind == rt::DetectorKind::kFixed) {
+    fixed_timeout_ms_ = params_.detector.fixed.timeout_ms;
+    RFD_REQUIRE(fixed_timeout_ms_ > 0.0);
   }
-  r.counter = counter;
-  if (r.detector == nullptr) {
-    r.detector = rt::make_detector(params_.detector);
-  }
-  r.detector->on_heartbeat(now);
-  if (r.hot_remaining <= 0) hot_queue_.push_back(peer);
-  r.hot_remaining = params_.hot_transmissions;
-  return true;
-}
-
-bool ClusterNode::suspects(NodeId peer, double now) const {
-  if (peer == id_ || peer < 0 || peer >= max_nodes_) return false;
-  const PeerRecord& r = peers_[static_cast<std::size_t>(peer)];
-  if (!r.known) return false;
-  if (r.detector == nullptr) {
-    // Known but never heard: allow the bootstrap grace window, measured
-    // from when this node learned the peer exists.
-    return now - r.known_since > params_.bootstrap_grace_ms;
-  }
-  return r.detector->suspects(now);
-}
-
-bool ClusterNode::knows(NodeId peer) const {
-  if (peer < 0 || peer >= max_nodes_) return false;
-  if (peer == id_) return true;
-  return peers_[static_cast<std::size_t>(peer)].known;
-}
-
-bool ClusterNode::believes_alive(NodeId peer) const {
-  if (peer == id_) return true;
-  if (peer < 0 || peer >= max_nodes_) return false;
-  const PeerRecord& r = peers_[static_cast<std::size_t>(peer)];
-  return r.known && !r.suspected;
 }
 
 void ClusterNode::reset_peers(double now,
                               const std::vector<NodeId>& contacts) {
-  for (PeerRecord& r : peers_) {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  std::fill(hot_.begin(), hot_.end(), PeerHot{});
+  std::fill(eval_tick_.begin(), eval_tick_.end(), std::int64_t{-1});
+  for (PeerRecord& r : records_) {
     r = PeerRecord{};
   }
   hot_queue_.clear();
   known_count_ = 0;
+  ++membership_version_;
   for (NodeId contact : contacts) {
     learn_peer(contact, now);
   }

@@ -5,9 +5,9 @@
 // per heartbeat interval, and ships (id, counter) entries to peers chosen
 // by the dissemination topology. A receiver treats any counter advance for
 // peer j - whether it arrived directly from j or piggybacked through
-// intermediaries - as a heartbeat for its per-peer PeerDetector instance
-// (van Renesse's gossip-style failure detection, composed with the
-// FixedTimeout / ChenAdaptive / PhiAccrual detectors of src/runtime).
+// intermediaries - as a heartbeat for its per-peer detector (van Renesse's
+// gossip-style failure detection, composed with the FixedTimeout /
+// ChenAdaptive / PhiAccrual detectors of src/runtime).
 //
 // This unifies all four topologies behind one mechanism:
 //   - direct heartbeats (all-to-all) advance only the sender's entry;
@@ -17,16 +17,44 @@
 //     so no SWIM-style incarnation machinery is needed - exactly what
 //     makes partition/heal scenarios converge.
 //
-// Per-peer state lives in a flat vector indexed by node id so runs with
-// thousands of nodes stay cache-friendly; detector instances are created
-// lazily on the first counter advance (a node that has never been heard
-// from is covered by the bootstrap grace window instead).
+// Layout is dictated by the two hot loops - the engine's receive loop
+// (one observe() per digest entry, tens of millions per run at n=1024)
+// and the topologies' per-round scans (target selection, digest
+// rotation). Per-peer state is struct-of-arrays:
+//   - counters_ (4 bytes/peer): the freshest heartbeat counter. A seen
+//     counter > 0 implies the peer is known, so a stale entry - the
+//     majority - is decided by this one load in a 4KB-per-node array
+//     that stays cache-resident, touching nothing else;
+//   - hot_ (one 16-byte PeerHot per peer): the known / suspected /
+//     fresh / armed flag bits, the remaining piggyback budget, and the
+//     last-heartbeat timestamp that is the inlined fixed-timeout
+//     detector's entire state. The kFixed detector - the cluster
+//     default and the only per-(observer, victim)-pair allocation at
+//     scale - thus needs no heap object, no virtual dispatch, and no
+//     extra cache line on an advance. The scan loops and digest
+//     keep()-filters read only the flags byte of it. kChen/kPhi keep
+//     their heap detector in the cold record;
+//   - eval_tick_ (8 bytes/peer): the engine's suspicion-wheel slot;
+//   - records_ (cold): known_since, suspect bookkeeping and the adaptive
+//     detector instance - touched on state transitions, not per entry.
+// The hot-path queries and observe() are defined inline here so the
+// receive loop and the topology scans compile into flat array walks.
+// Detector state is created lazily on the first counter advance (a node
+// that has never been heard from is covered by the bootstrap grace
+// window instead).
+//
+// Heartbeat counters are stored as 32 bits (advance_own_counter guards
+// the bound): one counter per heartbeat interval means 2^31 intervals
+// outlast any simulation by orders of magnitude, and the narrower word
+// halves the hot array and the digest payload traffic.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "runtime/detectors.hpp"
 #include "runtime/network.hpp"
 
@@ -34,18 +62,33 @@ namespace rfd::cluster {
 
 using rt::NodeId;
 
+/// Cold per-peer state: touched on membership / suspicion transitions and
+/// by the engine's suspicion wheel, never per digest entry.
 struct PeerRecord {
-  bool known = false;
   double known_since = -1.0;
-  std::int64_t counter = 0;   // freshest heartbeat counter seen for the peer
-  std::unique_ptr<rt::PeerDetector> detector;  // created on first advance
-  // Cached suspicion state, maintained by the engine's check loop so
-  // transitions (trust -> suspect and back) can be counted and timed.
-  bool suspected = false;
+  /// Adaptive (kChen / kPhi) detector instance, created on the first
+  /// evidence-bearing advance. Always null for kFixed - that detector
+  /// lives in the peer's PeerHot::last_heartbeat slot.
+  std::unique_ptr<rt::PeerDetector> detector;
+  /// When the current suspicion started (engine bookkeeping; -1 = not
+  /// suspected). Written through ClusterNode::set_suspected.
   double suspect_since = -1.0;
-  // Remaining piggyback transmissions while the peer sits in the hot
-  // queue (> 0 <=> queued). See select_digest.
-  int hot_remaining = 0;
+};
+
+/// Dense per-peer hot state; see the file header.
+struct PeerHot {
+  double last_heartbeat = -1.0;  // inlined kFixed detector state
+  std::uint8_t flags = 0;        // kKnown / kSuspected / kFresh / kArmed
+  std::int8_t hot_remaining = 0; // piggyback budget (> 0 <=> queued)
+};
+static_assert(sizeof(PeerHot) == 16, "PeerHot must stay one 16-byte slot");
+
+/// What one digest entry did to the receiver's state; lets the engine do
+/// its wheel bookkeeping without re-querying the record.
+struct ObserveResult {
+  bool advanced = false;         // counter advanced: heartbeat evidence
+  bool newly_known = false;      // first mention of this peer
+  bool started_detector = false; // this advance began heartbeat tracking
 };
 
 struct NodeParams {
@@ -69,23 +112,204 @@ class ClusterNode {
   void set_active(bool active) { active_ = active; }
 
   std::int64_t own_counter() const { return own_counter_; }
-  void advance_own_counter() { ++own_counter_; }
+  void advance_own_counter() {
+    // Counters are stored and shipped as 32 bits (see file header).
+    RFD_REQUIRE_MSG(own_counter_ < std::numeric_limits<std::int32_t>::max(),
+                    "heartbeat counter exceeds 32-bit digest range");
+    ++own_counter_;
+  }
 
-  /// Marks `peer` as a known member (no-op if already known or self).
-  void learn_peer(NodeId peer, double now);
+  /// Marks `peer` as a known member; returns true if it was new
+  /// (no-op and false for self / out-of-range / already known).
+  bool learn_peer(NodeId peer, double now) {
+    if (peer == id_ || peer < 0 || peer >= max_nodes_) return false;
+    const std::size_t p = static_cast<std::size_t>(peer);
+    if ((hot_[p].flags & kKnownFlag) != 0) return false;
+    hot_[p].flags |= kKnownFlag;
+    records_[p].known_since = now;
+    ++known_count_;
+    ++membership_version_;
+    return true;
+  }
 
   /// Processes one digest entry (peer, counter) received at `now`; feeds
-  /// the peer's detector if the counter advanced. Returns true on advance.
-  bool observe(NodeId peer, std::int64_t counter, double now);
+  /// the peer's detector if the counter advanced.
+  ObserveResult observe(NodeId peer, std::int64_t counter, double now) {
+    ObserveResult result;
+    if (peer == id_ || peer < 0 || peer >= max_nodes_) return result;
+    const std::size_t p = static_cast<std::size_t>(peer);
+    const std::int32_t seen = counters_[p];
+    if (seen > 0) {
+      // A seen counter implies the peer is already known, so a stale
+      // entry - the receive loop's majority - is decided right here by
+      // the one counters_ load. (A zero or stale counter carries no
+      // liveness evidence; see below for zero's membership role.)
+      if (counter <= seen) return result;
+      counters_[p] = static_cast<std::int32_t>(counter);
+      PeerHot& h = hot_[p];
+      h.flags |= kFreshFlag;
+      if (fixed_timeout_ms_ > 0.0) {
+        result.started_detector = h.last_heartbeat < 0.0;
+        h.last_heartbeat = now;
+      } else {
+        PeerRecord& r = records_[p];
+        if (r.detector == nullptr) {
+          r.detector = rt::make_detector(params_.detector);
+          result.started_detector = true;
+        }
+        r.detector->on_heartbeat(now);
+      }
+      enqueue_hot(h, p);
+      result.advanced = true;
+      return result;
+    }
+    // Cold branch: no counter on file yet. A zero counter carries
+    // membership information (handled by learn_peer) but no liveness
+    // evidence.
+    result.newly_known = learn_peer(peer, now);
+    if (counter <= 0) return result;
+    // First-ever counter for this peer: it proves membership, not
+    // liveness - a gossiped value can be arbitrarily stale (e.g. the
+    // final counter of a long-dead node still circulating in digests,
+    // arriving at a freshly reset or joined observer). Record it as the
+    // high-water mark and keep forwarding it (dissemination is how the
+    // cluster bootstraps), but do not feed the detector: only an
+    // advance beyond this mark is heartbeat evidence. A live peer
+    // advances within one interval, so trust costs one round of
+    // warm-up; a dead one never advances and falls to the bootstrap
+    // grace window.
+    counters_[p] = static_cast<std::int32_t>(counter);
+    PeerHot& h = hot_[p];
+    h.flags |= kFreshFlag;
+    enqueue_hot(h, p);
+    return result;
+  }
 
   /// Current suspicion verdict for `peer` (self is never suspected,
   /// unknown peers are never suspected).
-  bool suspects(NodeId peer, double now) const;
+  bool suspects(NodeId peer, double now) const {
+    if (peer == id_ || peer < 0 || peer >= max_nodes_) return false;
+    const std::size_t p = static_cast<std::size_t>(peer);
+    if ((hot_[p].flags & kKnownFlag) == 0) return false;
+    if (fixed_timeout_ms_ > 0.0) {
+      const double last = hot_[p].last_heartbeat;
+      if (last < 0.0) return grace_expired(p, now);
+      return now - last > fixed_timeout_ms_;
+    }
+    const PeerRecord& r = records_[p];
+    if (r.detector == nullptr) return grace_expired(p, now);
+    return r.detector->suspects(now);
+  }
 
-  bool knows(NodeId peer) const;
+  /// Expiry deadline for `peer`: absent further counter advances,
+  /// suspects(peer, t) holds exactly for t > deadline. +infinity for
+  /// self/unknown peers (never suspected). Grace-covered peers expire at
+  /// known_since + bootstrap_grace; heard peers defer to their detector.
+  double suspect_deadline(NodeId peer) const {
+    if (peer == id_ || peer < 0 || peer >= max_nodes_) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const std::size_t p = static_cast<std::size_t>(peer);
+    if ((hot_[p].flags & kKnownFlag) == 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (fixed_timeout_ms_ > 0.0) {
+      const double last = hot_[p].last_heartbeat;
+      if (last < 0.0) return grace_deadline(p);
+      return last + fixed_timeout_ms_;
+    }
+    const PeerRecord& r = records_[p];
+    if (r.detector == nullptr) return grace_deadline(p);
+    return r.detector->suspect_deadline();
+  }
+
+  /// Whether the detector's expiry deadline can only move forward on a
+  /// heartbeat. True for the inlined fixed-timeout detector; adaptive
+  /// windows (kChen / kPhi) can tighten, so theirs can move backward.
+  /// The engine uses this to skip re-arming already-armed pairs.
+  bool deadline_monotone() const { return fixed_timeout_ms_ > 0.0; }
+
+  /// Updates the cached suspicion verdict (engine wheel only).
+  void set_suspected(NodeId peer, bool suspected, double since) {
+    const std::size_t p = static_cast<std::size_t>(peer);
+    records_[p].suspect_since = since;
+    const std::uint8_t before = hot_[p].flags;
+    if (suspected) {
+      hot_[p].flags = before | kSuspectedFlag;
+    } else {
+      hot_[p].flags = before & static_cast<std::uint8_t>(~kSuspectedFlag);
+    }
+    if (hot_[p].flags != before) ++membership_version_;
+  }
+
+  /// Check-tick index at which the engine's suspicion wheel will next
+  /// evaluate this pair (-1 = unarmed). Owned by the engine; lives here
+  /// (dense, with the >= 0 state mirrored as the armed flag bit) so the
+  /// wheel needs no side table of its own and the receive loop's skip
+  /// test stays on the flags byte it already holds. See engine.cpp.
+  std::int64_t eval_tick(NodeId peer) const {
+    return eval_tick_[static_cast<std::size_t>(peer)];
+  }
+  void set_eval_tick(NodeId peer, std::int64_t tick) {
+    const std::size_t p = static_cast<std::size_t>(peer);
+    eval_tick_[p] = tick;
+    if (tick >= 0) {
+      hot_[p].flags |= kArmedFlag;
+    } else {
+      hot_[p].flags &= static_cast<std::uint8_t>(~kArmedFlag);
+    }
+  }
+
+  bool knows(NodeId peer) const {
+    if (peer < 0 || peer >= max_nodes_) return false;
+    if (peer == id_) return true;
+    return (hot_[static_cast<std::size_t>(peer)].flags & kKnownFlag) != 0;
+  }
+
+  /// Cached verdict from the engine's last evaluation of this pair.
+  bool is_suspected(NodeId peer) const {
+    return (hot_[static_cast<std::size_t>(peer)].flags & kSuspectedFlag) !=
+           0;
+  }
+
+  bool armed(NodeId peer) const {
+    return (hot_[static_cast<std::size_t>(peer)].flags & kArmedFlag) != 0;
+  }
+
   /// known && !suspected-by-cached-state; self counts as alive. Used by
   /// topologies for target selection (don't waste fanout on the dead).
-  bool believes_alive(NodeId peer) const;
+  bool believes_alive(NodeId peer) const {
+    if (peer == id_) return true;
+    if (peer < 0 || peer >= max_nodes_) return false;
+    return (hot_[static_cast<std::size_t>(peer)].flags &
+            (kKnownFlag | kSuspectedFlag)) == kKnownFlag;
+  }
+
+  /// Whether a non-zero counter has been seen for `peer` (worth
+  /// forwarding in digests; zero counters carry no liveness evidence).
+  bool has_freshness(NodeId peer) const {
+    if (peer < 0 || peer >= max_nodes_) return false;
+    return (hot_[static_cast<std::size_t>(peer)].flags & kFreshFlag) != 0;
+  }
+
+  /// Freshest heartbeat counter seen for `peer`.
+  std::int32_t counter(NodeId peer) const {
+    return counters_[static_cast<std::size_t>(peer)];
+  }
+
+  /// Bumped whenever the (known, suspected) membership view changes;
+  /// topologies key their per-node target caches on it.
+  std::int64_t membership_version() const { return membership_version_; }
+
+  /// Hints the prefetcher at `peer`'s hot slot; the engine issues this a
+  /// few digest entries ahead of observe() so the (random-index) slot is
+  /// in cache when the entry is processed. Semantically a no-op.
+  void prefetch_peer(NodeId peer) const {
+    if (peer >= 0 && peer < max_nodes_) {
+      __builtin_prefetch(&counters_[static_cast<std::size_t>(peer)], 1, 1);
+      __builtin_prefetch(&hot_[static_cast<std::size_t>(peer)], 1, 1);
+    }
+  }
 
   /// Appends up to `budget` known peer ids (never self) to `out`.
   /// Recently advanced peers go first - forwarding fresh counters is what
@@ -99,30 +323,42 @@ class ClusterNode {
     if (budget <= 0 || known_count_ == 0) return;
     int appended = 0;
     // Hot pass: drain queued advances front-to-back, compacting out the
-    // entries whose transmission budget is exhausted.
+    // entries whose transmission budget is exhausted. Stops as soon as
+    // the budget fills - the untouched tail stays queued as-is, so a
+    // full-budget call costs O(budget), not O(queue length).
+    const std::size_t queued = hot_queue_.size();
+    std::size_t read = 0;
     std::size_t write = 0;
-    for (std::size_t read = 0; read < hot_queue_.size(); ++read) {
+    for (; read < queued && appended < budget; ++read) {
       const NodeId candidate = hot_queue_[read];
-      PeerRecord& r = peers_[static_cast<std::size_t>(candidate)];
-      if (r.hot_remaining <= 0) continue;  // expired while queued
-      if (appended < budget && keep(candidate)) {
+      PeerHot& h = hot_[static_cast<std::size_t>(candidate)];
+      if (h.hot_remaining <= 0) continue;  // expired while queued
+      if (keep(candidate)) {
         out.push_back(candidate);
         ++appended;
-        --r.hot_remaining;
-        if (r.hot_remaining <= 0) continue;  // drained: drop from queue
+        --h.hot_remaining;
+        if (h.hot_remaining <= 0) continue;  // drained: drop from queue
       }
       hot_queue_[write++] = candidate;
     }
-    hot_queue_.resize(write);
-    // Rotation pass (an id just taken from the hot queue may repeat; the
-    // receiver treats the duplicate as a no-op).
+    if (write != read) {
+      std::copy(hot_queue_.begin() + static_cast<std::ptrdiff_t>(read),
+                hot_queue_.end(),
+                hot_queue_.begin() + static_cast<std::ptrdiff_t>(write));
+      hot_queue_.resize(write + (queued - read));
+    }
+    // Rotation pass over the dense flags array (an id just taken from
+    // the hot queue may repeat; the receiver treats the duplicate as a
+    // no-op).
     for (int scanned = 0; scanned < max_nodes_ && appended < budget;
          ++scanned) {
-      digest_cursor_ = (digest_cursor_ + 1) % max_nodes_;
+      if (++digest_cursor_ >= max_nodes_) digest_cursor_ = 0;
       const NodeId candidate = static_cast<NodeId>(digest_cursor_);
       if (candidate == id_) continue;
-      const PeerRecord& r = peers_[static_cast<std::size_t>(candidate)];
-      if (!r.known) continue;
+      if ((hot_[static_cast<std::size_t>(candidate)].flags & kKnownFlag) ==
+          0) {
+        continue;
+      }
       if (!keep(candidate)) continue;
       out.push_back(candidate);
       ++appended;
@@ -135,24 +371,49 @@ class ClusterNode {
   void reset_peers(double now, const std::vector<NodeId>& contacts);
 
   const PeerRecord& record(NodeId peer) const {
-    return peers_[static_cast<std::size_t>(peer)];
-  }
-  PeerRecord& mutable_record(NodeId peer) {
-    return peers_[static_cast<std::size_t>(peer)];
+    return records_[static_cast<std::size_t>(peer)];
   }
   int known_count() const { return known_count_; }
 
  private:
+  static constexpr std::uint8_t kKnownFlag = 1;
+  static constexpr std::uint8_t kSuspectedFlag = 2;
+  static constexpr std::uint8_t kFreshFlag = 4;
+  static constexpr std::uint8_t kArmedFlag = 8;
+
+  bool grace_expired(std::size_t p, double now) const {
+    // Known but never heard: allow the bootstrap grace window, measured
+    // from when this node learned the peer exists.
+    return now - records_[p].known_since > params_.bootstrap_grace_ms;
+  }
+  double grace_deadline(std::size_t p) const {
+    return records_[p].known_since + params_.bootstrap_grace_ms;
+  }
+  void enqueue_hot(PeerHot& h, std::size_t p) {
+    if (h.hot_remaining <= 0) hot_queue_.push_back(static_cast<NodeId>(p));
+    h.hot_remaining = static_cast<std::int8_t>(params_.hot_transmissions);
+  }
+
   NodeId id_;
   int max_nodes_;
   NodeParams params_;
-  std::vector<PeerRecord> peers_;
+  /// The fixed-timeout fast path: > 0 iff params_.detector.kind ==
+  /// kFixed, in which case each peer's PeerHot::last_heartbeat is its
+  /// whole detector.
+  double fixed_timeout_ms_ = -1.0;
+  /// Dense per-peer hot state (see file header).
+  std::vector<std::int32_t> counters_;
+  std::vector<PeerHot> hot_;
+  std::vector<std::int64_t> eval_tick_;
+  std::vector<PeerRecord> records_;
+  std::int64_t membership_version_ = 0;
   bool active_ = true;
   std::int64_t own_counter_ = 0;
   int digest_cursor_ = 0;
   int known_count_ = 0;
   /// Ids with recent counter advances, FIFO; deduplicated via
-  /// PeerRecord::hot_remaining, so its length never exceeds max_nodes_.
+  /// PeerHot::hot_remaining (> 0 <=> queued), so its length never
+  /// exceeds max_nodes_.
   std::vector<NodeId> hot_queue_;
 };
 

@@ -9,8 +9,10 @@ namespace rfd::cluster {
 namespace {
 
 /// Counters worth forwarding: a zero counter carries no liveness evidence.
+/// Reads the node's dense flags byte - this filter runs once per digest
+/// slot scanned, the hottest loop in the topology layer.
 bool has_freshness(const ClusterNode& node, NodeId peer) {
-  return node.record(peer).counter > 0;
+  return node.has_freshness(peer);
 }
 
 class AllToAllTopology final : public Topology {
@@ -87,7 +89,8 @@ class RingTopology final : public Topology {
 
 class GossipTopology final : public Topology {
  public:
-  explicit GossipTopology(const TopologyParams& params) : params_(params) {}
+  GossipTopology(const TopologyParams& params, int max_nodes)
+      : params_(params), cache_(static_cast<std::size_t>(max_nodes)) {}
 
   std::string name() const override {
     return "gossip(f=" + std::to_string(params_.gossip_fanout) + ")";
@@ -95,37 +98,32 @@ class GossipTopology final : public Topology {
 
   void targets(ClusterNode& node, Rng& rng,
                std::vector<NodeId>& out) override {
-    scratch_.clear();
-    doubtful_.clear();
-    for (NodeId j = 0; j < node.max_nodes(); ++j) {
-      if (j == node.id() || !node.knows(j)) continue;
-      if (node.believes_alive(j)) {
-        scratch_.push_back(j);
-      } else {
-        doubtful_.push_back(j);
-      }
-    }
-    if (scratch_.empty()) std::swap(scratch_, doubtful_);
+    // The alive/doubtful candidate lists only change when the node's
+    // membership view does (a learn, a suspicion flip, a reset), which is
+    // rare next to the per-round pump; cache them keyed on the node's
+    // membership version instead of rescanning all peers every call.
+    const TargetCache& cache = refreshed(node);
+    const std::vector<NodeId>* candidates = &cache.alive;
+    // When everyone looks dead, sample from the doubtful instead - and
+    // the resurrect extra below then has nothing left to draw from
+    // (mirrors the pre-cache list swap, RNG draw for RNG draw).
+    const bool doubt_available =
+        !candidates->empty() && !cache.doubtful.empty();
+    if (candidates->empty()) candidates = &cache.doubtful;
     const int fanout = params_.gossip_fanout;
-    const int count = static_cast<int>(scratch_.size());
+    const std::int64_t count =
+        static_cast<std::int64_t>(candidates->size());
     if (count <= fanout) {
-      out.insert(out.end(), scratch_.begin(), scratch_.end());
+      out.insert(out.end(), candidates->begin(), candidates->end());
     } else {
-      // Partial Fisher-Yates: the first `fanout` slots become a uniform
-      // sample without replacement.
-      for (int i = 0; i < fanout; ++i) {
-        const std::int64_t j = i + rng.below(count - i);
-        std::swap(scratch_[static_cast<std::size_t>(i)],
-                  scratch_[static_cast<std::size_t>(j)]);
-        out.push_back(scratch_[static_cast<std::size_t>(i)]);
-      }
+      sample_without_replacement(*candidates, fanout, rng, out);
     }
     // Occasionally poke a peer believed dead: the only way a false
     // suspicion (e.g. the far side of a healed partition) can ever be
     // refuted is by re-establishing contact.
-    if (!doubtful_.empty() && rng.chance(params_.gossip_resurrect_prob)) {
-      out.push_back(doubtful_[static_cast<std::size_t>(
-          rng.below(static_cast<std::int64_t>(doubtful_.size())))]);
+    if (doubt_available && rng.chance(params_.gossip_resurrect_prob)) {
+      out.push_back(cache.doubtful[static_cast<std::size_t>(rng.below(
+          static_cast<std::int64_t>(cache.doubtful.size())))]);
     }
   }
 
@@ -137,9 +135,73 @@ class GossipTopology final : public Topology {
   }
 
  private:
+  struct TargetCache {
+    std::int64_t version = -1;
+    std::vector<NodeId> alive;
+    std::vector<NodeId> doubtful;
+  };
+
+  const TargetCache& refreshed(const ClusterNode& node) {
+    TargetCache& cache = cache_[static_cast<std::size_t>(node.id())];
+    if (cache.version != node.membership_version()) {
+      cache.alive.clear();
+      cache.doubtful.clear();
+      for (NodeId j = 0; j < node.max_nodes(); ++j) {
+        if (j == node.id() || !node.knows(j)) continue;
+        if (node.believes_alive(j)) {
+          cache.alive.push_back(j);
+        } else {
+          cache.doubtful.push_back(j);
+        }
+      }
+      cache.version = node.membership_version();
+    }
+    return cache;
+  }
+
+  /// Partial Fisher-Yates over `pool` without mutating it: draws the
+  /// same rng.below sequence and emits the same ids as shuffling the
+  /// first `fanout` slots of a scratch copy, but tracks the (at most
+  /// `fanout`) displaced values in a small overlay instead of copying
+  /// the whole pool per call. Slot i is never read again once emitted
+  /// (later draws index >= i+1), so only the j-side displacement is
+  /// recorded.
+  void sample_without_replacement(const std::vector<NodeId>& pool,
+                                  int fanout, Rng& rng,
+                                  std::vector<NodeId>& out) {
+    overlay_.clear();
+    const std::int64_t count = static_cast<std::int64_t>(pool.size());
+    auto value_at = [&](std::int64_t idx) {
+      for (const Displaced& d : overlay_) {
+        if (d.idx == idx) return d.val;
+      }
+      return pool[static_cast<std::size_t>(idx)];
+    };
+    auto displace = [&](std::int64_t idx, NodeId val) {
+      for (Displaced& d : overlay_) {
+        if (d.idx == idx) {
+          d.val = val;
+          return;
+        }
+      }
+      overlay_.push_back({idx, val});
+    };
+    for (int i = 0; i < fanout; ++i) {
+      const std::int64_t j = i + rng.below(count - i);
+      const NodeId taken = value_at(j);
+      displace(j, value_at(i));
+      out.push_back(taken);
+    }
+  }
+
+  struct Displaced {
+    std::int64_t idx;
+    NodeId val;
+  };
+
   TopologyParams params_;
-  std::vector<NodeId> scratch_;
-  std::vector<NodeId> doubtful_;
+  std::vector<TargetCache> cache_;
+  std::vector<Displaced> overlay_;
 };
 
 class HierarchicalTopology final : public Topology {
@@ -262,7 +324,7 @@ std::unique_ptr<Topology> make_topology(const TopologyParams& params,
       return std::make_unique<RingTopology>(params);
     case TopologyKind::kGossip:
       RFD_REQUIRE(params.gossip_fanout >= 1);
-      return std::make_unique<GossipTopology>(params);
+      return std::make_unique<GossipTopology>(params, max_nodes);
     case TopologyKind::kHierarchical:
       return std::make_unique<HierarchicalTopology>(params, max_nodes);
   }

@@ -5,6 +5,27 @@
 #include "common/assert.hpp"
 
 namespace rfd::rt {
+namespace {
+
+/// Solves erfc(x) = y for x by bisection (erfc is strictly decreasing).
+/// Returns the lower bracket end, so the caller's derived deadline errs
+/// early - a deadline that fires a hair before the true crossing costs
+/// one spurious suspects() query; one that fires after misses it.
+double inverse_erfc(double y) {
+  double lo = -6.0;   // erfc(-6) ~ 2
+  double hi = 28.0;   // erfc(28) underflows to 0
+  for (int i = 0; i < 120; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (std::erfc(mid) >= y) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
 
 FixedTimeoutDetector::FixedTimeoutDetector(FixedTimeoutParams params)
     : params_(params) {
@@ -19,6 +40,11 @@ bool FixedTimeoutDetector::suspects(double now) const {
     return now > params_.timeout_ms;
   }
   return now - last_heartbeat_ > params_.timeout_ms;
+}
+
+double FixedTimeoutDetector::suspect_deadline() const {
+  if (last_heartbeat_ < 0.0) return params_.timeout_ms;
+  return last_heartbeat_ + params_.timeout_ms;
 }
 
 ChenAdaptiveDetector::ChenAdaptiveDetector(ChenAdaptiveParams params)
@@ -54,10 +80,22 @@ bool ChenAdaptiveDetector::suspects(double now) const {
   return now > expected_arrival_ + params_.alpha_ms;
 }
 
+double ChenAdaptiveDetector::suspect_deadline() const {
+  if (arrivals_.empty()) return params_.fallback_timeout_ms;
+  if (expected_arrival_ < 0.0) {
+    return arrivals_.back() + params_.fallback_timeout_ms;
+  }
+  return expected_arrival_ + params_.alpha_ms;
+}
+
 PhiAccrualDetector::PhiAccrualDetector(PhiAccrualParams params)
     : params_(params) {
   RFD_REQUIRE(params.window >= 2);
   RFD_REQUIRE(params.threshold > 0.0);
+  // suspects() fires when phi > threshold, i.e. when the normal tail
+  // 0.5*erfc(z/sqrt(2)) drops below 10^-threshold; invert once here.
+  const double tail = std::pow(10.0, -params.threshold);
+  z_threshold_ = std::sqrt(2.0) * inverse_erfc(2.0 * tail);
 }
 
 void PhiAccrualDetector::on_heartbeat(double now) {
@@ -104,6 +142,15 @@ bool PhiAccrualDetector::suspects(double now) const {
     return now - last_heartbeat_ > params_.fallback_timeout_ms;
   }
   return phi(now) > params_.threshold;
+}
+
+double PhiAccrualDetector::suspect_deadline() const {
+  if (last_heartbeat_ < 0.0) return params_.fallback_timeout_ms;
+  if (intervals_.empty()) {
+    return last_heartbeat_ + params_.fallback_timeout_ms;
+  }
+  const double stddev = std::max(std::sqrt(var_), params_.min_stddev_ms);
+  return last_heartbeat_ + mean_ + stddev * z_threshold_;
 }
 
 std::unique_ptr<PeerDetector> make_detector(const DetectorParams& params) {

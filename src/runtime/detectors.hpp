@@ -35,6 +35,14 @@ class PeerDetector {
   /// Whether the peer is suspected at time `now`.
   virtual bool suspects(double now) const = 0;
 
+  /// The expiry deadline D (absolute ms): absent further heartbeats,
+  /// suspects(t) holds exactly for t > D. Suspicion is monotone between
+  /// heartbeats, so a scheduler can register one cancelable deadline per
+  /// peer instead of polling suspects() on a grid; a heartbeat may move D
+  /// in either direction (an adaptive window can tighten), so re-query
+  /// after every on_heartbeat.
+  virtual double suspect_deadline() const = 0;
+
   virtual std::string name() const = 0;
 };
 
@@ -48,6 +56,7 @@ class FixedTimeoutDetector final : public PeerDetector {
 
   void on_heartbeat(double now) override;
   bool suspects(double now) const override;
+  double suspect_deadline() const override;
   std::string name() const override { return "fixed"; }
 
  private:
@@ -67,6 +76,7 @@ class ChenAdaptiveDetector final : public PeerDetector {
 
   void on_heartbeat(double now) override;
   bool suspects(double now) const override;
+  double suspect_deadline() const override;
   std::string name() const override { return "chen"; }
 
   /// Expected arrival time of the next heartbeat (for diagnostics).
@@ -91,6 +101,7 @@ class PhiAccrualDetector final : public PeerDetector {
 
   void on_heartbeat(double now) override;
   bool suspects(double now) const override;
+  double suspect_deadline() const override;
   std::string name() const override { return "phi"; }
 
   /// Current suspicion level phi at time `now`.
@@ -102,6 +113,10 @@ class PhiAccrualDetector final : public PeerDetector {
   double last_heartbeat_ = -1.0;
   double mean_ = 0.0;
   double var_ = 0.0;
+  /// z-score at which phi crosses the threshold under the normal fit,
+  /// solved once at construction: the deadline is then
+  /// last_heartbeat + mean + stddev * z in O(1) per query.
+  double z_threshold_ = 0.0;
 };
 
 enum class DetectorKind { kFixed, kChen, kPhi };

@@ -1,23 +1,194 @@
 #include "runtime/event_queue.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/assert.hpp"
 
 namespace rfd::rt {
 
+EventQueue::EventQueue(double tick_ms) : tick_ms_(tick_ms) {
+  RFD_REQUIRE(tick_ms > 0.0);
+  for (auto& level : wheel_) {
+    std::fill(std::begin(level), std::end(level), kNullIndex);
+  }
+}
+
+std::int64_t EventQueue::tick_for(double at) const {
+  std::int64_t tick = static_cast<std::int64_t>(at / tick_ms_);
+  // The division can round up across a tick boundary; an event filed one
+  // tick high could then run after later-timed events from the next slot.
+  // Filing low is always safe (it only enters the ready heap earlier).
+  if (static_cast<double>(tick) * tick_ms_ > at) --tick;
+  return tick;
+}
+
+std::uint32_t EventQueue::allocate(double at, Action action) {
+  std::uint32_t idx;
+  if (free_head_ != kNullIndex) {
+    idx = free_head_;
+    free_head_ = slab_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(slab_.size());
+    RFD_REQUIRE_MSG(idx != kNullIndex, "event slab exhausted");
+    slab_.emplace_back();
+  }
+  Event& e = slab_[idx];
+  e.at = at;
+  e.seq = next_seq_++;
+  e.task = std::move(action);
+  e.next = kNullIndex;
+  e.armed = true;
+  ++size_;
+  peak_size_ = std::max(peak_size_, size_);
+  return idx;
+}
+
+void EventQueue::release(std::uint32_t idx) {
+  Event& e = slab_[idx];
+  e.task.reset();
+  e.armed = false;
+  ++e.gen;  // invalidates outstanding TimerIds and stale heap refs
+  e.next = free_head_;
+  free_head_ = idx;
+}
+
+void EventQueue::place(std::uint32_t idx) {
+  const Event& e = slab_[idx];
+  const std::int64_t tick = tick_for(e.at);
+  const std::int64_t delta = tick - collected_tick_;
+  if (delta < 0) {
+    // Already inside the collected horizon: straight to the ready heap.
+    ready_.push({e.at, e.seq, idx, e.gen});
+    return;
+  }
+  std::int64_t span = kWheelSlots;
+  for (int level = 0; level < kWheelLevels; ++level, span <<= kWheelBits) {
+    if (delta < span) {
+      const int slot =
+          static_cast<int>((tick >> (level * kWheelBits)) & (kWheelSlots - 1));
+      slab_[idx].next = wheel_[level][slot];
+      wheel_[level][slot] = idx;
+      ++wheel_count_;
+      return;
+    }
+  }
+  // Beyond the wheel range (> ~77 hours at the default granularity):
+  // far-future fallback to the heap. The horizon guard in run_until keeps
+  // it from running before uncollected wheel events.
+  ready_.push({e.at, e.seq, idx, e.gen});
+}
+
+void EventQueue::cascade(int level) {
+  if (level >= kWheelLevels) return;  // deeper events live in the heap
+  if ((collected_tick_ & ((std::int64_t{1} << ((level + 1) * kWheelBits)) -
+                          1)) == 0) {
+    cascade(level + 1);
+  }
+  const int slot = static_cast<int>(
+      (collected_tick_ >> (level * kWheelBits)) & (kWheelSlots - 1));
+  std::uint32_t idx = wheel_[level][slot];
+  wheel_[level][slot] = kNullIndex;
+  while (idx != kNullIndex) {
+    const std::uint32_t next = slab_[idx].next;
+    --wheel_count_;
+    if (slab_[idx].armed) {
+      place(idx);  // re-files into a finer level (or the ready heap)
+    } else {
+      release(idx);  // canceled while waiting: reclaim lazily
+    }
+    idx = next;
+  }
+}
+
+void EventQueue::collect_slot() {
+  if ((collected_tick_ & (kWheelSlots - 1)) == 0) cascade(1);
+  const int slot = static_cast<int>(collected_tick_ & (kWheelSlots - 1));
+  std::uint32_t idx = wheel_[0][slot];
+  wheel_[0][slot] = kNullIndex;
+  while (idx != kNullIndex) {
+    const std::uint32_t next = slab_[idx].next;
+    --wheel_count_;
+    Event& e = slab_[idx];
+    if (e.armed) {
+      e.next = kNullIndex;
+      ready_.push({e.at, e.seq, idx, e.gen});
+    } else {
+      release(idx);
+    }
+    idx = next;
+  }
+  ++collected_tick_;
+}
+
 void EventQueue::schedule(double at, Action action) {
-  RFD_REQUIRE_MSG(at >= now_, "cannot schedule into the past");
-  queue_.push({at, next_seq_++, std::move(action)});
+  RFD_REQUIRE_MSG(std::isfinite(at), "event time must be finite");
+  if (at < now_) at = now_;  // clamp: runs at the current clock, in order
+  place(allocate(at, std::move(action)));
+}
+
+EventQueue::TimerId EventQueue::schedule_cancelable(double at, Action action) {
+  RFD_REQUIRE_MSG(std::isfinite(at), "event time must be finite");
+  if (at < now_) at = now_;
+  const std::uint32_t idx = allocate(at, std::move(action));
+  const TimerId id{idx, slab_[idx].gen};
+  place(idx);
+  return id;
+}
+
+bool EventQueue::pending(TimerId id) const {
+  return id.slot != kNullIndex && id.slot < slab_.size() &&
+         slab_[id.slot].gen == id.gen && slab_[id.slot].armed;
+}
+
+bool EventQueue::cancel(TimerId id) {
+  if (!pending(id)) return false;
+  Event& e = slab_[id.slot];
+  e.armed = false;   // carrier (wheel chain or heap ref) reclaims lazily
+  e.task.reset();
+  --size_;
+  return true;
+}
+
+EventQueue::TimerId EventQueue::reschedule(TimerId id, double at) {
+  if (!pending(id)) return TimerId{};
+  Event& e = slab_[id.slot];
+  Action task = std::move(e.task);
+  e.armed = false;
+  --size_;
+  return schedule_cancelable(at, std::move(task));
 }
 
 void EventQueue::run_until(double t_end) {
-  while (!queue_.empty() && queue_.top().at <= t_end) {
-    // Copy out before popping: the action may schedule more events.
-    Entry entry{queue_.top().at, queue_.top().seq,
-                std::move(const_cast<Entry&>(queue_.top()).action)};
-    queue_.pop();
-    now_ = entry.at;
-    ++executed_;
-    entry.action();
+  for (;;) {
+    const double horizon = static_cast<double>(collected_tick_) * tick_ms_;
+    while (!ready_.empty()) {
+      const Ref top = ready_.top();
+      if (top.at > t_end || top.at >= horizon) break;
+      ready_.pop();
+      Event& e = slab_[top.idx];
+      if (e.gen != top.gen) continue;  // slot already reused: stale ref
+      if (!e.armed) {
+        release(top.idx);  // canceled while queued
+        continue;
+      }
+      InlineTask task = std::move(e.task);
+      release(top.idx);
+      --size_;
+      now_ = top.at;
+      ++executed_;
+      task();  // may schedule more events, including at now()
+    }
+    if (wheel_count_ == 0) {
+      if (ready_.empty() || ready_.top().at > t_end) break;
+      // Nothing between the horizon and the next heap event: jump the
+      // horizon straight past it instead of walking empty slots.
+      collected_tick_ =
+          std::max(collected_tick_, tick_for(ready_.top().at) + 1);
+      continue;
+    }
+    if (horizon > t_end) break;  // everything due <= t_end already ran
+    collect_slot();
   }
   now_ = t_end;
 }

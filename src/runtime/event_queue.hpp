@@ -5,26 +5,86 @@
 // delays in milliseconds) to evaluate what real timeout-based detectors
 // deliver. Events carry a deterministic tiebreak sequence number so runs
 // are reproducible bit-for-bit.
+//
+// Throughput design (the hot path of every cluster-scale experiment):
+//
+//   * Events live in a slab with an intrusive free list. Each entry holds
+//     a small-buffer-optimized InlineTask, so steady-state runs allocate
+//     nothing per event - the old core paid one std::function heap
+//     allocation per heartbeat, delivery and check tick.
+//   * Near-future events (the overwhelming majority: periodic heartbeat
+//     and check timers, millisecond network deliveries) are scheduled in
+//     O(1) into a hierarchical timer wheel: kWheelLevels levels of
+//     kWheelSlots slots, each level kWheelSlots times coarser than the
+//     one below. Far-future events beyond the wheel range fall back to
+//     the binary heap.
+//   * Execution order is exactly (at, seq) - identical to the old pure
+//     heap core. The wheel only controls *when* an event enters the
+//     ready heap (any time before its slot's window becomes current),
+//     never the order in which events run, so runs are bit-for-bit
+//     reproducible across both representations.
+//
+// Cancelable timers: schedule_cancelable() returns a TimerId that can be
+// canceled or rescheduled (deadline pushed forward or pulled back) in
+// O(1); stale wheel/heap entries are skipped lazily via a per-slot
+// generation counter. (The cluster engine quantizes detector deadlines
+// onto its check grid with its own per-tick buckets - see
+// cluster/engine.cpp - so this API is for timers that need exact,
+// un-quantized deadlines.)
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
+
+#include "runtime/task.hpp"
 
 namespace rfd::rt {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineTask;
 
-  /// Schedules `action` at absolute time `at` (>= now()).
+  /// Handle to a cancelable event. Value-semantic; becomes stale (and all
+  /// operations on it no-ops) once the event fires or is canceled.
+  struct TimerId {
+    std::uint32_t slot = kNullIndex;
+    std::uint32_t gen = 0;
+    bool valid() const { return slot != kNullIndex; }
+  };
+
+  /// `tick_ms` is the wheel granularity: events less than
+  /// kWheelSlots * tick_ms ahead of the collected horizon schedule into
+  /// the finest level. The default suits millisecond-scale networks with
+  /// 100ms-scale heartbeat periods.
+  explicit EventQueue(double tick_ms = 1.0);
+
+  /// Schedules `action` at absolute time `at`. Times in the past (e.g.
+  /// a negative delay from float drift) are clamped to now(): the action
+  /// runs at the current clock, after already-pending events at now(),
+  /// never silently before it.
   void schedule(double at, Action action);
 
   /// Schedules `action` `delay` after now().
   void schedule_in(double delay, Action action) {
     schedule(now_ + delay, std::move(action));
   }
+
+  /// Like schedule(), but returns a handle for cancel()/reschedule().
+  TimerId schedule_cancelable(double at, Action action);
+
+  /// Cancels a pending event. Returns false if the handle is stale (the
+  /// event already fired, was canceled, or was superseded by reschedule).
+  bool cancel(TimerId id);
+
+  /// Moves a pending event to a new absolute time (clamped to now() like
+  /// schedule), keeping its callback but assigning a fresh tiebreak
+  /// sequence number. Returns the new handle, or an invalid TimerId if
+  /// `id` is stale.
+  TimerId reschedule(TimerId id, double at);
+
+  /// Whether the handle still refers to a pending event.
+  bool pending(TimerId id) const;
 
   double now() const { return now_; }
 
@@ -34,21 +94,67 @@ class EventQueue {
 
   std::int64_t executed() const { return executed_; }
 
+  /// Events currently pending (canceled-but-uncollected entries excluded).
+  std::size_t size() const { return size_; }
+  /// High-water mark of pending events over the queue's lifetime.
+  std::size_t peak_size() const { return peak_size_; }
+
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNullIndex = 0xffffffffu;
+  static constexpr int kWheelBits = 8;
+  static constexpr int kWheelSlots = 1 << kWheelBits;  // 256
+  static constexpr int kWheelLevels = 3;               // 256^3 ticks span
+
+  struct Event {
+    double at = 0.0;
+    std::int64_t seq = 0;
+    InlineTask task;
+    std::uint32_t gen = 0;    // bumped on release; detects stale TimerIds
+    std::uint32_t next = kNullIndex;  // wheel chain / free list link
+    bool armed = false;       // false once canceled or released
+  };
+
+  /// Lightweight heap entry; the task stays in the slab.
+  struct Ref {
     double at;
     std::int64_t seq;
-    Action action;
-    bool operator>(const Entry& other) const {
+    std::uint32_t idx;
+    std::uint32_t gen;
+    bool operator>(const Ref& other) const {
       if (at != other.at) return at > other.at;
       return seq > other.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::uint32_t allocate(double at, Action action);
+  void release(std::uint32_t idx);
+  /// Files a slab event into the wheel, or into the ready heap when it
+  /// is already inside the collected horizon or beyond the wheel range.
+  void place(std::uint32_t idx);
+  /// Tick index whose window contains `at` (floor, guarded against the
+  /// division rounding up across a tick boundary).
+  std::int64_t tick_for(double at) const;
+  /// Moves the level-0 slot at the collected horizon into the ready
+  /// heap and advances the horizon one tick, cascading coarser levels
+  /// at window boundaries.
+  void collect_slot();
+  void cascade(int level);
+
+  std::vector<Event> slab_;
+  std::uint32_t free_head_ = kNullIndex;
+  std::priority_queue<Ref, std::vector<Ref>, std::greater<>> ready_;
+  std::uint32_t wheel_[kWheelLevels][kWheelSlots];
+  std::int64_t wheel_count_ = 0;  // events currently filed in the wheel
+  /// All events with tick < collected_tick_ are in the ready heap; the
+  /// wheel only holds ticks >= collected_tick_.
+  std::int64_t collected_tick_ = 0;
+  double tick_ms_;
+
   double now_ = 0.0;
   std::int64_t next_seq_ = 0;
   std::int64_t executed_ = 0;
+  std::size_t size_ = 0;
+  std::size_t peak_size_ = 0;
 };
 
 }  // namespace rfd::rt

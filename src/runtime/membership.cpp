@@ -1,6 +1,7 @@
 #include "runtime/membership.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>

@@ -70,18 +70,24 @@ void Network::clear_storm() {
   storm_prob_ = 0.0;
 }
 
-void Network::send(NodeId from, NodeId to, std::function<void()> deliver) {
+std::optional<double> Network::route(NodeId from, NodeId to) {
   ++sent_;
   if (partitioned(from, to)) {
     ++dropped_;
     ++partition_dropped_;
-    return;
+    return std::nullopt;
   }
   if (rng_.chance(params_.loss_prob)) {
     ++dropped_;
-    return;
+    return std::nullopt;
   }
-  queue_->schedule_in(sample_delay(), std::move(deliver));
+  return sample_delay();
+}
+
+void Network::send(NodeId from, NodeId to, EventQueue::Action deliver) {
+  if (const std::optional<double> delay = route(from, to)) {
+    queue_->schedule_in(*delay, std::move(deliver));
+  }
 }
 
 }  // namespace rfd::rt

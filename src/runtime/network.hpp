@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -33,11 +33,22 @@ class Network {
  public:
   Network(EventQueue& queue, std::uint64_t seed, NetworkParams params);
 
+  /// Draws the fate of one message from `from` to `to`: the delivery
+  /// delay in ms, or nullopt when the message is dropped (partition cut,
+  /// random loss). Updates sent/dropped accounting either way. Callers on
+  /// hot paths use this *before* materializing any delivery record, so a
+  /// dropped message costs no allocation; the partition/loss/storm
+  /// verdicts and the delay are drawn in a fixed RNG order, so runs are
+  /// reproducible regardless of which entry point is used.
+  std::optional<double> route(NodeId from, NodeId to);
+
   /// Sends a message; `deliver` runs at the arrival time unless the
   /// message is dropped. Delivery respects per-message independent delay
   /// (no FIFO guarantee, like UDP heartbeats). While a partition is
   /// installed, messages crossing component boundaries are dropped.
-  void send(NodeId from, NodeId to, std::function<void()> deliver);
+  /// Convenience wrapper over route() for callers whose closures are
+  /// cheap to build.
+  void send(NodeId from, NodeId to, EventQueue::Action deliver);
 
   /// One sample of the current delay distribution (for analysis).
   double sample_delay();

@@ -1,5 +1,7 @@
 #include "runtime/qos.hpp"
 
+#include <functional>
+
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 

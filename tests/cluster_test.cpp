@@ -93,14 +93,14 @@ TEST(ClusterNode, GraceThenDetectorTakesOver) {
   // heartbeat: a gossiped value can be arbitrarily stale (it could be a
   // dead node's final counter still circulating), so it must not buy
   // trust. Only an advance beyond it does.
-  EXPECT_FALSE(node.observe(1, 5, 1600.0));
+  EXPECT_FALSE(node.observe(1, 5, 1600.0).advanced);
   EXPECT_TRUE(node.suspects(1, 1700.0));   // still only grace-covered
-  EXPECT_TRUE(node.observe(1, 6, 1750.0));
+  EXPECT_TRUE(node.observe(1, 6, 1750.0).advanced);
   EXPECT_FALSE(node.suspects(1, 1800.0));  // detector trusts the advance
   // Stale and zero counters are not liveness evidence.
-  EXPECT_FALSE(node.observe(1, 5, 1850.0));
-  EXPECT_FALSE(node.observe(1, 3, 1900.0));
-  EXPECT_FALSE(node.observe(2, 0, 2000.0));
+  EXPECT_FALSE(node.observe(1, 5, 1850.0).advanced);
+  EXPECT_FALSE(node.observe(1, 3, 1900.0).advanced);
+  EXPECT_FALSE(node.observe(2, 0, 2000.0).advanced);
   EXPECT_TRUE(node.knows(2));  // ...but they do carry membership
   EXPECT_FALSE(node.suspects(0, 5000.0));  // never self-suspects
 }

@@ -4,6 +4,12 @@
 // and the group membership emulation of P.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "runtime/detectors.hpp"
 #include "runtime/event_queue.hpp"
 #include "runtime/membership.hpp"
@@ -12,6 +18,263 @@
 
 namespace rfd::rt {
 namespace {
+
+/// Reference implementation of the pre-refactor core's semantics: a plain
+/// binary heap ordered by (at, seq). The slab/wheel EventQueue must
+/// produce exactly this firing order on any workload.
+class ReferenceQueue {
+ public:
+  void schedule(double at, std::function<void()> action) {
+    if (at < now_) at = now_;
+    heap_.push({at, next_seq_++, std::move(action)});
+  }
+  void schedule_in(double delay, std::function<void()> action) {
+    schedule(now_ + delay, std::move(action));
+  }
+  double now() const { return now_; }
+  std::int64_t executed() const { return executed_; }
+  void run_until(double t_end) {
+    while (!heap_.empty() && heap_.top().at <= t_end) {
+      Entry e{heap_.top().at, heap_.top().seq,
+              std::move(const_cast<Entry&>(heap_.top()).action)};
+      heap_.pop();
+      now_ = e.at;
+      ++executed_;
+      e.action();
+    }
+    now_ = t_end;
+  }
+
+ private:
+  struct Entry {
+    double at;
+    std::int64_t seq;
+    std::function<void()> action;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  double now_ = 0.0;
+  std::int64_t next_seq_ = 0;
+  std::int64_t executed_ = 0;
+};
+
+/// Seeded random workload: `timers` periodic timers with jittered periods,
+/// each firing chains of short-delay one-shots - the heartbeat/delivery
+/// mix of the cluster engine. Records (id, fire-time) per execution.
+template <typename Queue>
+std::vector<std::pair<int, double>> trace_workload(Queue& q,
+                                                   std::uint64_t seed,
+                                                   int timers,
+                                                   double horizon) {
+  std::vector<std::pair<int, double>> trace;
+  std::vector<Rng> rngs;
+  const Rng base(seed);
+  rngs.reserve(static_cast<std::size_t>(timers));
+  std::function<void(int)> tick = [&](int i) {
+    trace.emplace_back(i, q.now());
+    Rng& rng = rngs[static_cast<std::size_t>(i)];
+    const double jitter = rng.uniform01() * 9.5;
+    q.schedule_in(jitter, [&trace, &q, i] {
+      trace.emplace_back(1000 + i, q.now());
+    });
+    q.schedule_in(40.0 + rng.uniform01() * 120.0, [&tick, i] { tick(i); });
+  };
+  for (int i = 0; i < timers; ++i) {
+    rngs.push_back(base.split(static_cast<std::uint64_t>(i)));
+    q.schedule(rngs.back().uniform01() * 100.0, [&tick, i] { tick(i); });
+  }
+  q.run_until(horizon);
+  return trace;
+}
+
+TEST(EventQueue, DeterministicAgainstReferenceHeap) {
+  // Same seed => identical event sequence and executed() count on the
+  // slab/wheel core and on a plain (at, seq) binary heap (the
+  // pre-refactor representation). This is the bit-for-bit guarantee the
+  // cluster metrics rely on.
+  EventQueue current;
+  ReferenceQueue reference;
+  const auto got = trace_workload(current, 0xd5, 64, 3'000.0);
+  const auto want = trace_workload(reference, 0xd5, 64, 3'000.0);
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(current.executed(), reference.executed());
+  EXPECT_DOUBLE_EQ(current.now(), reference.now());
+}
+
+TEST(EventQueue, SameSeedSameTraceAcrossRuns) {
+  EventQueue a;
+  EventQueue b;
+  EXPECT_EQ(trace_workload(a, 7, 32, 2'000.0),
+            trace_workload(b, 7, 32, 2'000.0));
+  EXPECT_EQ(a.executed(), b.executed());
+}
+
+TEST(EventQueue, WheelCascadeAtBucketBoundaries) {
+  // With tick_ms = 1 the level-0 wheel spans 256 ticks and level 1 spans
+  // 65536; events straddling those boundaries (and one beyond the whole
+  // wheel range, taking the far-future heap fallback) must still fire in
+  // exact (at, seq) order regardless of insertion order.
+  EventQueue q(1.0);
+  std::vector<double> fired;
+  const std::vector<double> times = {
+      255.0, 256.0, 257.0,             // level-0 -> level-1 boundary
+      65'535.0, 65'536.0, 65'537.0,    // level-1 -> level-2 boundary
+      16'777'216.5,                    // past the wheel: heap fallback
+      255.5, 0.25, 256.0,              // duplicates tiebreak by seq
+  };
+  std::vector<double> want = times;
+  std::sort(want.begin(), want.end());
+  // Adversarial insertion order: far-future first, then descending.
+  std::vector<double> insert = times;
+  std::sort(insert.begin(), insert.end(), std::greater<>());
+  for (const double at : insert) {
+    q.schedule(at, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  q.run_until(17'000'000.0);
+  EXPECT_EQ(fired, want);
+  EXPECT_EQ(q.executed(), static_cast<std::int64_t>(times.size()));
+}
+
+TEST(EventQueue, CascadeRefilesIntoFinerLevels) {
+  // An event deep in level 2 must survive two cascades (level 2 -> 1 -> 0)
+  // and interleave correctly with events scheduled later but due sooner,
+  // including ones created while the run is in flight.
+  EventQueue q(1.0);
+  std::vector<int> order;
+  q.schedule(70'000.0, [&] { order.push_back(2); });
+  q.schedule(100'000.0, [&] { order.push_back(3); });
+  q.schedule(10.0, [&] {
+    order.push_back(1);
+    q.schedule_in(99'990.0 - 10.0, [&] { order.push_back(4); });  // ties 3? no: 99'990
+  });
+  q.run_until(200'000.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventQueue::TimerId id =
+      q.schedule_cancelable(100.0, [&] { ran = true; });
+  EXPECT_TRUE(q.pending(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.cancel(id));  // second cancel: stale handle
+  q.run_until(200.0);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.executed(), 0);
+}
+
+TEST(EventQueue, HandlesGoStaleAfterFiring) {
+  EventQueue q;
+  int runs = 0;
+  EventQueue::TimerId id = q.schedule_cancelable(10.0, [&] { ++runs; });
+  q.run_until(20.0);
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.reschedule(id, 50.0).valid());
+  // The slab slot is recycled for the next event; the old handle must not
+  // alias it (generation check).
+  bool second = false;
+  EventQueue::TimerId fresh = q.schedule_cancelable(30.0, [&] { second = true; });
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_FALSE(q.cancel(id));
+  q.run_until(40.0);
+  EXPECT_TRUE(second);
+  EXPECT_FALSE(q.pending(fresh));
+}
+
+TEST(EventQueue, RescheduleMovesDeadlineBothWays) {
+  EventQueue q;
+  std::vector<int> order;
+  EventQueue::TimerId push = q.schedule_cancelable(50.0, [&] { order.push_back(1); });
+  EventQueue::TimerId pull = q.schedule_cancelable(60.0, [&] { order.push_back(2); });
+  q.schedule(75.0, [&] { order.push_back(3); });
+  push = q.reschedule(push, 100.0);  // pushed past everything
+  ASSERT_TRUE(push.valid());
+  pull = q.reschedule(pull, 10.0);  // pulled ahead of everything
+  ASSERT_TRUE(pull.valid());
+  EXPECT_EQ(q.size(), 3u);
+  q.run_until(200.0);
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+  EXPECT_FALSE(q.pending(push));
+  // Rescheduling a fired timer is a stale-handle no-op.
+  EXPECT_FALSE(q.reschedule(push, 300.0).valid());
+}
+
+TEST(EventQueue, RescheduleChainsKeepOnlyTheLastDeadline) {
+  // A detector deadline pushed forward on every heartbeat: many
+  // superseded entries, exactly one execution at the final deadline.
+  EventQueue q;
+  int runs = 0;
+  double fired_at = -1.0;
+  EventQueue::TimerId id = q.schedule_cancelable(10.0, [&] {
+    ++runs;
+    fired_at = q.now();
+  });
+  for (int i = 1; i <= 100; ++i) {
+    id = q.reschedule(id, 10.0 + i);
+    ASSERT_TRUE(id.valid());
+  }
+  EXPECT_EQ(q.size(), 1u);
+  q.run_until(1'000.0);
+  EXPECT_EQ(runs, 1);
+  EXPECT_DOUBLE_EQ(fired_at, 110.0);
+}
+
+TEST(EventQueue, SchedulingInThePastClampsToNow) {
+  // Regression: the old core silently accepted at < now(), which let an
+  // event run "before" the current clock (its timestamp lied). The clamp
+  // runs it at now(), after events already pending at now(), preserving
+  // (at, seq) order.
+  EventQueue q;
+  std::vector<int> order;
+  double late_ran_at = -1.0;
+  q.schedule(50.0, [&] {
+    order.push_back(1);
+    q.schedule(50.0, [&] { order.push_back(2); });  // pending at now()
+    q.schedule(25.0, [&] {  // in the past: must clamp to t=50
+      order.push_back(3);
+      late_ran_at = q.now();
+    });
+  });
+  q.run_until(100.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(late_ran_at, 50.0);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+
+  // schedule_in with a negative delay (float drift) takes the same clamp.
+  EventQueue q2;
+  bool ran = false;
+  q2.run_until(10.0);
+  q2.schedule_in(-5.0, [&] { ran = true; });
+  q2.run_until(10.0);  // no-op: nothing pending before t=10... except the clamp
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q2.executed(), 1);
+}
+
+TEST(EventQueue, SizeTracksPendingAndPeak) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(static_cast<double>(i + 1), [] {});
+  }
+  EventQueue::TimerId id = q.schedule_cancelable(20.0, [] {});
+  EXPECT_EQ(q.size(), 11u);
+  EXPECT_EQ(q.peak_size(), 11u);
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 10u);
+  q.run_until(100.0);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.peak_size(), 11u);
+  EXPECT_EQ(q.executed(), 10);
+}
 
 TEST(EventQueue, OrdersByTimeThenSequence) {
   EventQueue q;
