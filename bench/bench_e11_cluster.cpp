@@ -14,6 +14,10 @@
 // Rows marked by RFD_E11_FULL=1 (all-to-all and ring at n=1024) are
 // skipped by default: the point of the quadratic baseline at that scale
 // is precisely that nobody can afford it.
+//
+// RFD_E11_TRACE=<prefix> writes one JSONL event trace per scenario-
+// gallery case to <prefix>.scenario<i>.jsonl (with metric snapshots every
+// 10 check ticks) - the inputs for the README's jq cookbook.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -299,8 +303,21 @@ int main(int argc, char** argv) {
       c.config.scenario.crash(8'000.0, 5).recover(20'000.0, 5);
       cases.push_back(std::move(c));
     }
-    for (auto& c : cases) {
+    const char* trace_prefix = std::getenv("RFD_E11_TRACE");
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      auto& c = cases[i];
+      if (trace_prefix != nullptr) {
+        c.config.obs.trace_path =
+            std::string(trace_prefix) + ".scenario" + std::to_string(i) +
+            ".jsonl";
+        c.config.obs.snapshot_every_ticks = 10;
+      }
       const ClusterReport r = cluster::run_cluster(c.config, 0xc11);
+      if (trace_prefix != nullptr) {
+        std::printf("trace: %s (%lld records)\n",
+                    c.config.obs.trace_path.c_str(),
+                    static_cast<long long>(r.trace_records));
+      }
       table.add_row({c.label, Table::fixed(r.messages_per_node_per_s, 1),
                      Table::fixed(r.false_suspicions_per_node_per_min, 2),
                      r.convergence_ms.count() > 0

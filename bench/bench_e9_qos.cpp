@@ -6,9 +6,17 @@
 // (b) fixed vs adaptive vs phi-accrual across network regimes. These are
 // the "realistic failure detectors" whose inherent imperfection is the
 // reason the paper's collapse result matters in practice.
+// RFD_E9_TRACE=<path> streams one JSONL trace across all sweeps:
+// "arrival" records (heartbeat inter-arrival gaps, the distribution the
+// adaptive detectors model) and "verdict" records (polled suspicion
+// flips), each tagged with a sweep-unique run id.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <memory>
+
 #include "bench_util.hpp"
+#include "obs/trace_writer.hpp"
 
 namespace rfd {
 namespace {
@@ -47,6 +55,15 @@ int main(int argc, char** argv) {
   using namespace rfd;
   const int kRuns = 12;
   bench::JsonReport json("e9_qos");
+
+  std::unique_ptr<obs::TraceWriter> trace;
+  if (const char* path = std::getenv("RFD_E9_TRACE")) {
+    obs::Config obs_config;
+    obs_config.trace_path = path;
+    trace = std::make_unique<obs::TraceWriter>(obs_config);
+    if (!trace->ok()) trace.reset();
+  }
+  std::int64_t next_run_id = 0;
   std::printf("E9: QoS of timeout-based detectors (heartbeat 100ms, crash at"
               "\n45s of 60s, %d seeded runs per row; mistakes per minute)\n",
               kRuns);
@@ -60,6 +77,9 @@ int main(int argc, char** argv) {
       config.detector.fixed.timeout_ms = timeout;
       config.network.jitter_sigma = 1.1;
       config.network.loss_prob = 0.05;
+      config.trace = trace.get();
+      config.trace_run_id = next_run_id;
+      next_run_id += kRuns;
       const auto agg = rt::run_qos_sweep(config, 0x901, kRuns);
       json.row("frontier")
           .num("timeout_ms", timeout)
@@ -95,6 +115,9 @@ int main(int argc, char** argv) {
         config.detector.phi.threshold = 8.0;
         config.network.jitter_sigma = net.sigma;
         config.network.loss_prob = net.loss;
+        config.trace = trace.get();
+        config.trace_run_id = next_run_id;
+        next_run_id += kRuns;
         const auto agg = rt::run_qos_sweep(config, 0x902, kRuns);
         json.row("detectors")
             .str("detector", rt::detector_kind_name(kind))
@@ -109,6 +132,11 @@ int main(int argc, char** argv) {
       }
     }
     table.print("E9b: fixed vs adaptive vs phi-accrual across regimes");
+  }
+  if (trace != nullptr) {
+    trace->close();
+    std::printf("trace: %lld records written\n",
+                static_cast<long long>(trace->written_records()));
   }
   json.write();
 

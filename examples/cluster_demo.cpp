@@ -7,17 +7,28 @@
 // waits for a Perfect detector, mistakes happen on schedule, and the
 // membership still converges on the truth after every disruption.
 //
-//   ./cluster_demo [seed]
+//   ./cluster_demo [seed] [--trace <path|->] [--trace-every <ticks>]
+//                  [--profile]
+//
+// --trace streams a JSONL event trace (heartbeats, suspicions, faults,
+// drops; see the README's Observability section) to the given path, "-"
+// for stdout. --trace-every interleaves a metrics snapshot record every
+// that many check ticks (default 10 when tracing). --profile adds phase
+// timer rollups to the end of the trace.
 #include <cstdio>
 #include <cstdlib>
 
 #include "cluster/engine.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rfd;
+  const Cli cli(argc, argv);
   const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 48;
+      !cli.positional().empty()
+          ? std::strtoull(cli.positional()[0].c_str(), nullptr, 10)
+          : 48;
 
   cluster::ClusterConfig config;
   config.n = 48;
@@ -30,6 +41,11 @@ int main(int argc, char** argv) {
   config.heartbeat_interval_ms = 100.0;
   config.check_interval_ms = 100.0;
   config.duration_ms = 60'000.0;
+
+  config.obs.trace_path = cli.get("trace", "");
+  config.obs.snapshot_every_ticks = static_cast<int>(
+      cli.get_int("trace-every", config.obs.trace_path.empty() ? 0 : 10));
+  config.obs.profile = cli.get_bool("profile", false);
 
   std::vector<cluster::NodeId> left, right;
   for (int i = 0; i < 48; ++i) (i < 24 ? left : right).push_back(i);
@@ -83,5 +99,16 @@ int main(int argc, char** argv) {
       "no setting that makes the detector Perfect, only settings that\n"
       "move the mistakes around.\n",
       r.summary().c_str());
+  if (!config.obs.trace_path.empty() && config.obs.trace_path != "-") {
+    std::fprintf(stderr, "trace: %lld records -> %s (%lld dropped)\n",
+                 static_cast<long long>(r.trace_records),
+                 config.obs.trace_path.c_str(),
+                 static_cast<long long>(r.trace_dropped));
+  }
+  for (const auto& stat : r.profile) {
+    std::fprintf(stderr, "profile: %-8s calls=%lld est=%.2fms\n",
+                 stat.phase.c_str(), static_cast<long long>(stat.calls),
+                 stat.est_ms);
+  }
   return 0;
 }

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "obs/profile.hpp"
+#include "obs/record.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_writer.hpp"
 #include "runtime/event_queue.hpp"
 
 namespace rfd::cluster {
@@ -42,6 +47,41 @@ class ClusterEngine {
     RFD_REQUIRE(max_nodes_ >= config_.n);
     RFD_REQUIRE(config_.heartbeat_interval_ms > 0.0);
     RFD_REQUIRE(config_.check_interval_ms > 0.0);
+    seed_ = seed;
+
+    // The registry is the backing store for everything the report
+    // aggregates; registration order here fixes the field order of the
+    // snapshot records in the trace.
+    c_digest_entries_ = &registry_.counter(metric::kDigestEntries);
+    c_raises_ = &registry_.counter(metric::kSuspicionRaises);
+    c_clears_ = &registry_.counter(metric::kSuspicionClears);
+    c_false_ = &registry_.counter(metric::kFalseSuspicions);
+    c_disruptions_ = &registry_.counter(metric::kDisruptions);
+    c_missed_ = &registry_.counter(metric::kMissedDetections);
+    h_detect_ = &registry_.histogram(metric::kDetectionMs);
+    h_convergence_ = &registry_.histogram(metric::kConvergenceMs);
+    g_disagreeing_ = &registry_.gauge(metric::kDisagreeingPairs);
+    g_net_sent_ = &registry_.gauge(metric::kNetSent);
+    g_net_dropped_ = &registry_.gauge(metric::kNetDropped);
+    g_net_partition_ = &registry_.gauge(metric::kNetPartitionDropped);
+    g_queue_size_ = &registry_.gauge(metric::kQueueSize);
+    g_queue_executed_ = &registry_.gauge(metric::kQueueExecuted);
+    g_hot_queue_ = &registry_.gauge(metric::kMaxHotQueue);
+
+    if (config_.obs.trace_enabled()) {
+      trace_storage_ = std::make_unique<obs::TraceWriter>(config_.obs);
+      if (trace_storage_->ok()) {
+        trace_ = trace_storage_.get();
+        network_.set_trace(trace_);
+        topology_->set_trace(trace_, &queue_);
+      }
+    }
+    if (obs::kEnabled && config_.obs.profile) {
+      profiler_ =
+          std::make_unique<obs::Profiler>(config_.obs.profile_sample_shift);
+      queue_.set_profiler(profiler_.get());
+      network_.set_profiler(profiler_.get());
+    }
 
     NodeParams node_params;
     node_params.detector = config_.detector;
@@ -81,6 +121,22 @@ class ClusterEngine {
   }
 
   ClusterReport run() {
+    if (trace_ != nullptr) {
+      trace_->write_line(
+          obs::JsonLine{}
+              .str("type", "run")
+              .integer("v", 1)
+              .num("t", 0.0)
+              .integer("n", config_.n)
+              .integer("max_nodes", max_nodes_)
+              .str("topology", report_.topology)
+              .str("detector", report_.detector)
+              .integer("seed", static_cast<std::int64_t>(seed_))
+              .num("duration_ms", config_.duration_ms)
+              .num("heartbeat_ms", config_.heartbeat_interval_ms)
+              .num("check_ms", config_.check_interval_ms)
+              .finish());
+    }
     for (const FaultEvent& event : config_.scenario.sorted()) {
       queue_.schedule(event.at_ms, [this, event] { apply(event); });
     }
@@ -187,9 +243,21 @@ class ClusterEngine {
                          targets_scratch_);
       for (NodeId target : targets_scratch_) {
         digest_scratch_.clear();
-        topology_->digest(node, target, digest_scratch_);
-        report_.digest_entries_sent +=
-            static_cast<std::int64_t>(digest_scratch_.size());
+        {
+          obs::ScopedPhase phase(profiler_.get(), obs::Phase::kDigest);
+          topology_->digest(node, target, digest_scratch_);
+        }
+        c_digest_entries_->add(
+            static_cast<std::int64_t>(digest_scratch_.size()));
+        if (trace_ != nullptr) {
+          obs::Record r;
+          r.type = obs::RecordType::kHbSend;
+          r.t = queue_.now();
+          r.a = i;
+          r.b = target;
+          r.c = static_cast<std::int64_t>(digest_scratch_.size()) + 1;
+          trace_->emit(r);
+        }
         // Draw the drop verdict before materializing anything: a lost or
         // partitioned message must cost neither an entries vector nor an
         // event. The digest above still runs unconditionally - selection
@@ -228,32 +296,47 @@ class ClusterEngine {
     const double now = queue_.now();
     const bool monotone = node.deadline_monotone();
     const std::size_t count = entries.size();
-    for (std::size_t k = 0; k < count; ++k) {
-      // The upcoming entries' peer slots are random indices; hint them a
-      // few iterations ahead so observe() doesn't stall on the load.
-      if (k + 8 < count) node.prefetch_peer(entries[k + 8].first);
-      const Entry& entry = entries[k];
-      const NodeId peer = entry.first;
-      const ObserveResult obs = node.observe(peer, entry.second, now);
-      if (obs.newly_known) on_learned(to, peer);
-      if (obs.advanced) {
-        // The advance is this pair's heartbeat: its deadline moved. A
-        // suspected pair must be re-judged at the very next tick (the
-        // advance is its refutation); an unsuspected pair gets its
-        // deadline re-registered - unless the detector's deadline is
-        // monotone and the pair is already armed, where re-arming is
-        // provably a no-op (arm_pair keeps the earliest tick and the new
-        // deadline can only be later), so the re-query is skipped. A
-        // freshly started detector always re-arms: its deadline family
-        // changed from the grace window, which monotonicity says nothing
-        // about.
-        if (node.is_suspected(peer)) {
-          arm_pair(to, peer, check_tick_ + 1);
-        } else if (!monotone || obs.started_detector ||
-                   !node.armed(peer)) {
-          arm_deadline(to, peer);
+    std::int64_t advanced = 0;
+    {
+      obs::ScopedPhase phase(profiler_.get(), obs::Phase::kObserve);
+      for (std::size_t k = 0; k < count; ++k) {
+        // The upcoming entries' peer slots are random indices; hint them a
+        // few iterations ahead so observe() doesn't stall on the load.
+        if (k + 8 < count) node.prefetch_peer(entries[k + 8].first);
+        const Entry& entry = entries[k];
+        const NodeId peer = entry.first;
+        const ObserveResult result = node.observe(peer, entry.second, now);
+        if (result.newly_known) on_learned(to, peer);
+        if (result.advanced) {
+          ++advanced;
+          // The advance is this pair's heartbeat: its deadline moved. A
+          // suspected pair must be re-judged at the very next tick (the
+          // advance is its refutation); an unsuspected pair gets its
+          // deadline re-registered - unless the detector's deadline is
+          // monotone and the pair is already armed, where re-arming is
+          // provably a no-op (arm_pair keeps the earliest tick and the new
+          // deadline can only be later), so the re-query is skipped. A
+          // freshly started detector always re-arms: its deadline family
+          // changed from the grace window, which monotonicity says nothing
+          // about.
+          if (node.is_suspected(peer)) {
+            arm_pair(to, peer, check_tick_ + 1);
+          } else if (!monotone || result.started_detector ||
+                     !node.armed(peer)) {
+            arm_deadline(to, peer);
+          }
         }
       }
+    }
+    if (trace_ != nullptr) {
+      obs::Record r;
+      r.type = obs::RecordType::kHbRecv;
+      r.t = now;
+      r.a = to;
+      r.b = entries.empty() ? -1 : entries.front().first;
+      r.c = static_cast<std::int64_t>(count);
+      r.x = static_cast<double>(advanced);
+      trace_->emit(r);
     }
   }
 
@@ -275,7 +358,22 @@ class ClusterEngine {
       disagreeing_pairs_ += (suspected != down) ? 1 : 0;
       disagreeing_pairs_ -= (was_suspected != down) ? 1 : 0;
       node.set_suspected(j, suspected, suspected ? now : -1.0);
-      if (suspected && !down) ++report_.false_suspicions;
+      if (suspected) {
+        c_raises_->add(1);
+        if (!down) c_false_->add(1);
+      } else {
+        c_clears_->add(1);
+      }
+      if (trace_ != nullptr) {
+        obs::Record r;
+        r.type =
+            suspected ? obs::RecordType::kSuspect : obs::RecordType::kClear;
+        r.t = now;
+        r.a = i;
+        r.b = j;
+        r.c = down ? 1 : 0;
+        trace_->emit(r);
+      }
     }
     // Unsuspected pairs always hold a future deadline; suspected pairs
     // sleep until a counter advance refutes them.
@@ -296,11 +394,32 @@ class ClusterEngine {
     }
     const bool all_agree = disagreeing_pairs_ == 0;
     if (all_agree && agreed_version_ < truth_version_) {
-      report_.convergence_ms.add(now - truth_change_time_);
+      h_convergence_->add(now - truth_change_time_);
       agreed_version_ = truth_version_;
     }
     last_agreement_ = all_agree;
+    // Snapshots piggyback on the check tick instead of scheduling their
+    // own events, so enabling them cannot perturb the simulation.
+    if (trace_ != nullptr && config_.obs.snapshot_every_ticks > 0 &&
+        check_tick_ % config_.obs.snapshot_every_ticks == 0) {
+      snapshot(now);
+    }
     queue_.schedule_in(config_.check_interval_ms, [this] { check(); });
+  }
+
+  void snapshot(double now) {
+    g_disagreeing_->set(static_cast<double>(disagreeing_pairs_));
+    g_net_sent_->set(static_cast<double>(network_.sent()));
+    g_net_dropped_->set(static_cast<double>(network_.dropped()));
+    g_net_partition_->set(static_cast<double>(network_.partition_dropped()));
+    g_queue_size_->set(static_cast<double>(queue_.size()));
+    g_queue_executed_->set(static_cast<double>(queue_.executed()));
+    std::size_t max_hot = 0;
+    for (const ClusterNode& node : nodes_) {
+      if (node.active()) max_hot = std::max(max_hot, node.hot_queue_depth());
+    }
+    g_hot_queue_->set(static_cast<double>(max_hot));
+    registry_.snapshot(*trace_, now, check_tick_);
   }
 
   std::vector<NodeId> active_contacts() const {
@@ -317,7 +436,7 @@ class ClusterEngine {
     if (truth_version_ > 0 && truth_change_time_ == now) return;
     ++truth_version_;
     truth_change_time_ = now;
-    ++report_.disruptions;
+    c_disruptions_->add(1);
   }
 
   /// Rejoins node `x` with a wiped peer table seeded from `contacts`,
@@ -331,6 +450,14 @@ class ClusterEngine {
     }
   }
 
+  /// Emits the fault record for `event`. Called only once the event is
+  /// known to take effect (no-op crashes of already-dead nodes etc. leave
+  /// no record), so the trace's fault stream is exactly the ground-truth
+  /// transition sequence - the invariant the offline replay relies on.
+  void trace_fault(const FaultEvent& event, double now) {
+    if (trace_ != nullptr) trace_->emit(fault_record(event, now));
+  }
+
   void apply(const FaultEvent& event) {
     const double now = queue_.now();
     switch (event.kind) {
@@ -339,6 +466,7 @@ class ClusterEngine {
         const NodeId j = event.node;
         RFD_REQUIRE(j >= 0 && j < max_nodes_);
         if (!truth_active_[static_cast<std::size_t>(j)]) return;
+        trace_fault(event, now);
         count_row(j, -1);  // the dead row leaves the agreement set
         truth_active_[static_cast<std::size_t>(j)] = false;
         down_since_[static_cast<std::size_t>(j)] = now;
@@ -354,6 +482,7 @@ class ClusterEngine {
             truth_active_[static_cast<std::size_t>(j)]) {
           return;
         }
+        trace_fault(event, now);
         truth_active_[static_cast<std::size_t>(j)] = true;
         down_since_[static_cast<std::size_t>(j)] = -1.0;
         rescore_column(j);
@@ -370,6 +499,7 @@ class ClusterEngine {
         const NodeId j = event.node;
         RFD_REQUIRE(j >= 0 && j < max_nodes_);
         if (ever_active_[static_cast<std::size_t>(j)]) return;
+        trace_fault(event, now);
         ever_active_[static_cast<std::size_t>(j)] = true;
         truth_active_[static_cast<std::size_t>(j)] = true;
         ClusterNode& node = nodes_[static_cast<std::size_t>(j)];
@@ -381,18 +511,22 @@ class ClusterEngine {
         break;
       }
       case FaultKind::kPartition:
+        trace_fault(event, now);
         network_.set_partition(event.groups);
         break;
       case FaultKind::kHeal:
+        trace_fault(event, now);
         network_.clear_partition();
         // Re-convergence is only measurable if the partition actually
         // drove the cluster into disagreement.
         if (!last_agreement_) bump_truth(now);
         break;
       case FaultKind::kStormStart:
+        trace_fault(event, now);
         network_.set_storm(event.extra_delay_ms, event.delay_prob);
         break;
       case FaultKind::kStormEnd:
+        trace_fault(event, now);
         network_.clear_storm();
         if (!last_agreement_) bump_truth(now);
         break;
@@ -413,13 +547,14 @@ class ClusterEngine {
         if (node.is_suspected(j)) {
           // A suspicion already standing at crash time detects "instantly"
           // from the abstraction's point of view.
-          report_.detection_latency_ms.add(
+          h_detect_->add(
               std::max(0.0, node.record(j).suspect_since - down_at));
         } else {
-          ++report_.missed_detections;
+          c_missed_->add(1);
         }
       }
     }
+    fill_report_from_registry(report_, registry_);
     report_.events_executed = queue_.executed();
     report_.peak_event_queue = static_cast<std::int64_t>(queue_.peak_size());
     report_.messages_sent = network_.sent();
@@ -429,6 +564,31 @@ class ClusterEngine {
         report_.disruptions - report_.convergence_ms.count();
     report_.final_agreement = last_agreement_;
     finalize_rates(report_);
+    if (profiler_ != nullptr) report_.profile = profiler_->stats();
+    if (trace_ != nullptr) {
+      for (const obs::PhaseStat& stat : report_.profile) {
+        trace_->write_line(obs::JsonLine{}
+                               .str("type", "profile")
+                               .str("phase", stat.phase)
+                               .integer("calls", stat.calls)
+                               .integer("sampled", stat.sampled)
+                               .num("est_ms", stat.est_ms)
+                               .finish());
+      }
+      trace_->write_line(
+          obs::JsonLine{}
+              .str("type", "end")
+              .num("t", config_.duration_ms)
+              .integer("events_executed", report_.events_executed)
+              .integer("messages_sent", report_.messages_sent)
+              .integer("detections", report_.detection_latency_ms.count())
+              .integer("false_suspicions", report_.false_suspicions)
+              .boolean("final_agreement", report_.final_agreement)
+              .finish());
+      trace_->close();
+      report_.trace_records = trace_->written_records();
+      report_.trace_dropped = trace_->dropped();
+    }
   }
 
   ClusterConfig config_;
@@ -454,6 +614,30 @@ class ClusterEngine {
   std::unordered_map<std::int64_t, std::vector<std::uint64_t>> eval_buckets_;
   std::int64_t check_tick_ = 0;
   std::int64_t disagreeing_pairs_ = 0;
+
+  // Observability. The registry always exists (it is the aggregation
+  // store); trace and profiler exist only when configured. Handles are
+  // cached once so hot-path updates are one pointer add.
+  std::uint64_t seed_ = 0;
+  obs::Registry registry_;
+  std::unique_ptr<obs::TraceWriter> trace_storage_;
+  obs::TraceWriter* trace_ = nullptr;
+  std::unique_ptr<obs::Profiler> profiler_;
+  obs::Counter* c_digest_entries_ = nullptr;
+  obs::Counter* c_raises_ = nullptr;
+  obs::Counter* c_clears_ = nullptr;
+  obs::Counter* c_false_ = nullptr;
+  obs::Counter* c_disruptions_ = nullptr;
+  obs::Counter* c_missed_ = nullptr;
+  obs::Histo* h_detect_ = nullptr;
+  obs::Histo* h_convergence_ = nullptr;
+  obs::Gauge* g_disagreeing_ = nullptr;
+  obs::Gauge* g_net_sent_ = nullptr;
+  obs::Gauge* g_net_dropped_ = nullptr;
+  obs::Gauge* g_net_partition_ = nullptr;
+  obs::Gauge* g_queue_size_ = nullptr;
+  obs::Gauge* g_queue_executed_ = nullptr;
+  obs::Gauge* g_hot_queue_ = nullptr;
 
   ClusterReport report_;
   std::vector<NodeId> targets_scratch_;

@@ -16,6 +16,7 @@
 #include "cluster/metrics.hpp"
 #include "cluster/scenario.hpp"
 #include "cluster/topology.hpp"
+#include "obs/config.hpp"
 #include "runtime/detectors.hpp"
 #include "runtime/network.hpp"
 
@@ -40,6 +41,10 @@ struct ClusterConfig {
   int hot_transmissions = 4;
   double duration_ms = 30'000.0;
   Scenario scenario;
+  /// Observability: trace sink, snapshot cadence, phase profiling. The
+  /// defaults keep everything off; a disabled trace costs the hot path
+  /// one predictable branch per instrumentation point.
+  obs::Config obs;
 };
 
 /// Runs one seeded cluster experiment and aggregates cluster QoS.

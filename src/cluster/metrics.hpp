@@ -9,10 +9,35 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
+#include "obs/profile.hpp"
+#include "obs/registry.hpp"
 
 namespace rfd::cluster {
+
+/// Metric names the engine registers in its obs::Registry - the
+/// registry is the backing store for the aggregation below, and these
+/// names are what snapshot records carry in the trace stream.
+namespace metric {
+inline constexpr const char* kDigestEntries = "cluster.digest_entries_sent";
+inline constexpr const char* kSuspicionRaises = "cluster.suspicion_raises";
+inline constexpr const char* kSuspicionClears = "cluster.suspicion_clears";
+inline constexpr const char* kFalseSuspicions = "cluster.false_suspicions";
+inline constexpr const char* kDisruptions = "cluster.disruptions";
+inline constexpr const char* kMissedDetections = "cluster.missed_detections";
+inline constexpr const char* kDetectionMs = "cluster.detection_ms";
+inline constexpr const char* kConvergenceMs = "cluster.convergence_ms";
+// Gauges refreshed at snapshot time.
+inline constexpr const char* kDisagreeingPairs = "cluster.disagreeing_pairs";
+inline constexpr const char* kNetSent = "net.sent";
+inline constexpr const char* kNetDropped = "net.dropped";
+inline constexpr const char* kNetPartitionDropped = "net.partition_dropped";
+inline constexpr const char* kQueueSize = "queue.size";
+inline constexpr const char* kQueueExecuted = "queue.executed";
+inline constexpr const char* kMaxHotQueue = "node.max_hot_queue";
+}  // namespace metric
 
 struct ClusterReport {
   int n = 0;          // initial active nodes (rates are normalized by this)
@@ -55,11 +80,29 @@ struct ClusterReport {
   std::int64_t unconverged_disruptions = 0;
   bool final_agreement = false;
 
+  /// Suspicion transitions (raise/clear) over the whole run, regardless
+  /// of whether the victim was actually down.
+  std::int64_t suspicion_raises = 0;
+  std::int64_t suspicion_clears = 0;
+
+  // Observability (empty when tracing/profiling is off).
+  std::int64_t trace_records = 0;
+  std::int64_t trace_dropped = 0;
+  /// Phase-timer rollups (observe / digest / dispatch / route) when
+  /// profiling was enabled.
+  std::vector<obs::PhaseStat> profile;
+
   /// One-line human summary for demos and logs.
   std::string summary() const;
 };
 
 /// Fills the per-node rate fields from the raw counters.
 void finalize_rates(ClusterReport& report);
+
+/// Copies the engine's registry-backed aggregation into the report.
+/// The registry is the store of record during the run; the report is the
+/// flat snapshot benches and demos serialize.
+void fill_report_from_registry(ClusterReport& report,
+                               const obs::Registry& registry);
 
 }  // namespace rfd::cluster

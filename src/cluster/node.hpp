@@ -374,6 +374,10 @@ class ClusterNode {
     return records_[static_cast<std::size_t>(peer)];
   }
   int known_count() const { return known_count_; }
+  /// Current hot-queue occupancy (ids with undrained piggyback budget);
+  /// snapshotted by the observability layer as a dissemination-backlog
+  /// gauge.
+  std::size_t hot_queue_depth() const { return hot_queue_.size(); }
 
  private:
   static constexpr std::uint8_t kKnownFlag = 1;

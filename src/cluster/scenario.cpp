@@ -100,7 +100,7 @@ std::vector<FaultEvent> Scenario::sorted() const {
   return out;
 }
 
-std::string fault_kind_name(FaultKind kind) {
+const char* fault_kind_cstr(FaultKind kind) {
   switch (kind) {
     case FaultKind::kCrash:
       return "crash";
@@ -120,6 +120,34 @@ std::string fault_kind_name(FaultKind kind) {
       return "storm-end";
   }
   return "?";
+}
+
+std::string fault_kind_name(FaultKind kind) { return fault_kind_cstr(kind); }
+
+obs::Record fault_record(const FaultEvent& event, double t) {
+  obs::Record r;
+  r.type = obs::RecordType::kFault;
+  r.t = t;
+  r.s = fault_kind_cstr(event.kind);
+  switch (event.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kRecover:
+    case FaultKind::kJoin:
+    case FaultKind::kLeave:
+      r.a = event.node;
+      break;
+    case FaultKind::kPartition:
+      r.c = static_cast<std::int64_t>(event.groups.size());
+      break;
+    case FaultKind::kStormStart:
+      r.x = event.extra_delay_ms;
+      r.y = event.delay_prob;
+      break;
+    case FaultKind::kHeal:
+    case FaultKind::kStormEnd:
+      break;
+  }
+  return r;
 }
 
 Scenario multi_crash_scenario(int n, int crashes, double at_ms) {

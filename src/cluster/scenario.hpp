@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/record.hpp"
 #include "runtime/network.hpp"
 
 namespace rfd::cluster {
@@ -62,6 +63,13 @@ struct Scenario {
 };
 
 std::string fault_kind_name(FaultKind kind);
+/// Static-lifetime kind name, safe to stash in a deferred-formatting
+/// obs::Record.
+const char* fault_kind_cstr(FaultKind kind);
+
+/// Trace record for `event` as applied at sim time `t` (the schema's
+/// "fault" record; see obs/record.hpp and the README record tables).
+obs::Record fault_record(const FaultEvent& event, double t);
 
 /// Canned scenario: crash `crashes` distinct nodes (spread over the id
 /// space) at `at_ms`. Handy for the scaling bench.

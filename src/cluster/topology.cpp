@@ -207,7 +207,8 @@ class GossipTopology final : public Topology {
 class HierarchicalTopology final : public Topology {
  public:
   HierarchicalTopology(const TopologyParams& params, int max_nodes)
-      : params_(params), max_nodes_(max_nodes) {
+      : params_(params), max_nodes_(max_nodes),
+        acting_(static_cast<std::size_t>(max_nodes), -1) {
     cluster_size_ = params.cluster_size > 0
                         ? params.cluster_size
                         : static_cast<int>(std::ceil(std::sqrt(
@@ -231,7 +232,9 @@ class HierarchicalTopology final : public Topology {
     // foreign observer blind to this cluster for a full takeover window
     // whenever the primary crashes), each contacting its best guess of
     // every other cluster's two leaders.
-    if (!acts_as_leader(node, own)) return;
+    const bool leads = acts_as_leader(node, own);
+    note_leader(node.id(), own, leads);
+    if (!leads) return;
     const int clusters = (max_nodes_ + cluster_size_ - 1) / cluster_size_;
     for (int g = 0; g < clusters; ++g) {
       if (g == own) continue;
@@ -275,6 +278,27 @@ class HierarchicalTopology final : public Topology {
 
   static constexpr int kLeadersPerCluster = 2;
 
+  /// Emits a "leader" trace record when a node's acting-leader status
+  /// flips (leader changes are exactly the events a two-level fabric's
+  /// operator wants on a timeline). The initial "not a leader" state is
+  /// not newsworthy.
+  void note_leader(NodeId id, int cluster, bool acting) {
+    if (trace_ == nullptr) return;
+    std::int8_t& prev = acting_[static_cast<std::size_t>(id)];
+    const std::int8_t current = acting ? 1 : 0;
+    if (prev == current) return;
+    const bool newsworthy = acting || prev == 1;
+    prev = current;
+    if (!newsworthy) return;
+    obs::Record r;
+    r.type = obs::RecordType::kLeader;
+    r.t = clock_ != nullptr ? clock_->now() : 0.0;
+    r.a = id;
+    r.b = cluster;
+    r.c = current;
+    trace_->emit(r);
+  }
+
   bool acts_as_leader(const ClusterNode& node, int g) const {
     int rank = 0;
     for (NodeId j = cluster_lo(g); j < cluster_hi(g); ++j) {
@@ -309,6 +333,8 @@ class HierarchicalTopology final : public Topology {
   TopologyParams params_;
   int max_nodes_;
   int cluster_size_;
+  /// Last traced acting-leader status per node (-1 = never evaluated).
+  std::vector<std::int8_t> acting_;
 };
 
 }  // namespace

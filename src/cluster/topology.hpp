@@ -72,6 +72,19 @@ class Topology {
   /// from `node` to `target` (the sender's own entry is implicit).
   virtual void digest(ClusterNode& node, NodeId target,
                       std::vector<NodeId>& out) = 0;
+
+  /// Attaches the trace sink (and the sim clock that timestamps its
+  /// records). Topologies with internal role state - the hierarchical
+  /// fabric's acting leaders - emit "leader" records on role flips;
+  /// stateless topologies ignore it.
+  void set_trace(obs::TraceWriter* trace, const rt::EventQueue* clock) {
+    trace_ = trace;
+    clock_ = clock;
+  }
+
+ protected:
+  obs::TraceWriter* trace_ = nullptr;
+  const rt::EventQueue* clock_ = nullptr;
 };
 
 std::unique_ptr<Topology> make_topology(const TopologyParams& params,

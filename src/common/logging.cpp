@@ -10,7 +10,23 @@ LogLevel& level_storage() {
   return level;
 }
 
-const char* level_name(LogLevel level) {
+struct SinkStorage {
+  LogSinkFn fn = nullptr;
+  void* ctx = nullptr;
+};
+
+SinkStorage& sink_storage() {
+  static SinkStorage sink;
+  return sink;
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage(); }
+
+void set_log_level(LogLevel level) { level_storage() = level; }
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -26,15 +42,27 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-}  // namespace
+void set_log_sink(LogSinkFn fn, void* ctx) {
+  sink_storage().fn = fn;
+  sink_storage().ctx = ctx;
+}
 
-LogLevel log_level() { return level_storage(); }
-
-void set_log_level(LogLevel level) { level_storage() = level; }
+void clear_log_sink(void* ctx) {
+  if (sink_storage().ctx == ctx) {
+    sink_storage().fn = nullptr;
+    sink_storage().ctx = nullptr;
+  }
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& line) {
-  std::fprintf(stderr, "[rfd %-5s] %s\n", level_name(level), line.c_str());
+  const SinkStorage& sink = sink_storage();
+  if (sink.fn != nullptr) {
+    sink.fn(sink.ctx, level, line);
+    return;
+  }
+  std::fprintf(stderr, "[rfd %-5s] %s\n", log_level_name(level),
+               line.c_str());
 }
 }  // namespace detail
 

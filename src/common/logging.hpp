@@ -17,6 +17,18 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+const char* log_level_name(LogLevel level);
+
+/// Pluggable log sink: when installed, enabled log lines are routed to it
+/// instead of stderr. The observability layer's TraceWriter installs
+/// itself here so human-readable logs and structured trace records share
+/// one writer (and therefore never interleave mid-line).
+using LogSinkFn = void (*)(void* ctx, LogLevel level, const std::string& line);
+void set_log_sink(LogSinkFn fn, void* ctx);
+/// Removes the sink only if `ctx` is the currently installed one (a later
+/// sink is never clobbered by an earlier owner's teardown).
+void clear_log_sink(void* ctx);
+
 namespace detail {
 void log_line(LogLevel level, const std::string& line);
 }

@@ -1,0 +1,38 @@
+#include "obs/profile.hpp"
+
+namespace rfd::obs {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kObserve:
+      return "observe";
+    case Phase::kDigest:
+      return "digest";
+    case Phase::kDispatch:
+      return "dispatch";
+    case Phase::kRoute:
+      return "route";
+  }
+  return "?";
+}
+
+std::vector<PhaseStat> Profiler::stats() const {
+  std::vector<PhaseStat> out;
+  for (int i = 0; i < kNumPhases; ++i) {
+    const Acc& acc = acc_[i];
+    if (acc.calls == 0) continue;
+    PhaseStat stat;
+    stat.phase = phase_name(static_cast<Phase>(i));
+    stat.calls = acc.calls;
+    stat.sampled = acc.sampled;
+    stat.est_ms = acc.sampled > 0
+                      ? static_cast<double>(acc.ns) / 1e6 *
+                            (static_cast<double>(acc.calls) /
+                             static_cast<double>(acc.sampled))
+                      : 0.0;
+    out.push_back(std::move(stat));
+  }
+  return out;
+}
+
+}  // namespace rfd::obs

@@ -1,0 +1,90 @@
+// Cheap scoped phase timers for the simulation hot spots.
+//
+// A disabled profiler (null pointer) costs one predictable branch per
+// scope. An enabled one counts every entry exactly but reads the clock
+// only on 1 of every 2^sample_shift entries, so the per-call overhead
+// stays far below the sections under measurement; durations are scaled
+// estimates (sampled time * calls / sampled), counts are exact. The
+// phases are the known hot spots from the PR-5 profiling work:
+// ClusterNode::observe (the engine's receive loop), GossipTopology::digest
+// (per-message digest selection), EventQueue dispatch, and
+// Network::route.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfd::obs {
+
+enum class Phase : std::uint8_t {
+  kObserve = 0,  // engine receive loop (ClusterNode::observe per entry)
+  kDigest,       // topology digest selection per outgoing message
+  kDispatch,     // EventQueue task dispatch
+  kRoute,        // Network::route verdict + delay draw
+};
+inline constexpr int kNumPhases = 4;
+
+const char* phase_name(Phase phase);
+
+/// Rollup of one phase, as it lands in the trace and the BENCH json.
+struct PhaseStat {
+  std::string phase;
+  std::int64_t calls = 0;
+  std::int64_t sampled = 0;
+  /// Scaled wall-clock estimate: sampled nanoseconds * calls / sampled.
+  double est_ms = 0.0;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(int sample_shift = 4)
+      : mask_((std::uint64_t{1} << (sample_shift < 0 ? 0 : sample_shift)) -
+              1) {}
+
+  /// Rollups for every phase that was entered at least once.
+  std::vector<PhaseStat> stats() const;
+
+ private:
+  friend class ScopedPhase;
+  struct Acc {
+    std::int64_t calls = 0;
+    std::int64_t sampled = 0;
+    std::int64_t ns = 0;
+  };
+  Acc acc_[kNumPhases];
+  std::uint64_t mask_;
+};
+
+/// RAII phase scope. `profiler == nullptr` disables it entirely.
+class ScopedPhase {
+ public:
+  ScopedPhase(Profiler* profiler, Phase phase) {
+    if (profiler == nullptr) return;
+    Profiler::Acc& acc =
+        profiler->acc_[static_cast<std::size_t>(phase)];
+    if ((static_cast<std::uint64_t>(acc.calls++) & profiler->mask_) != 0) {
+      return;
+    }
+    acc_ = &acc;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedPhase() {
+    if (acc_ == nullptr) return;
+    acc_->ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    ++acc_->sampled;
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Profiler::Acc* acc_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rfd::obs

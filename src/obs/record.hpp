@@ -1,0 +1,41 @@
+// Typed trace records for the streaming observability layer.
+//
+// The hot path never formats: it stores one fixed-size POD Record into the
+// staging ring and returns. The writer side formats records into JSONL
+// with a fixed field order per type (see trace_writer.cpp), so a fixed
+// seed produces a byte-identical trace. Variable-length payloads are
+// restricted to pointers to *static* strings (fault kind names, metric
+// names), which stay valid across the deferred formatting.
+#pragma once
+
+#include <cstdint>
+
+namespace rfd::obs {
+
+enum class RecordType : std::uint8_t {
+  kHbSend,    // node a sent a heartbeat message to peer b carrying c entries
+  kHbRecv,    // node a received from peer b: c entries, x of them advances
+  kDrop,      // message a -> b dropped; s = verdict ("partition" | "loss")
+  kSuspect,   // observer a raised suspicion of victim b (c = truth: 1 down)
+  kClear,     // observer a cleared its suspicion of victim b
+  kFault,     // scenario fault applied; s = kind, a = node, x/y = extras
+  kLeader,    // node a flipped acting-leader status (c) for cluster b
+  kArrival,   // QoS monitor a: heartbeat arrival, x = inter-arrival gap ms
+  kVerdict,   // QoS monitor a: suspicion verdict flipped to c at poll time
+};
+
+/// Fixed-size hot-path record. Field meanings depend on `type` (above);
+/// `t` is always the simulation clock in ms.
+struct Record {
+  double t = 0.0;
+  RecordType type = RecordType::kHbSend;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int64_t c = 0;
+  double x = 0.0;
+  double y = 0.0;
+  /// Static-lifetime string payload (never owned), or nullptr.
+  const char* s = nullptr;
+};
+
+}  // namespace rfd::obs

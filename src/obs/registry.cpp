@@ -1,0 +1,115 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rfd::obs {
+
+const Registry::Entry* Registry::find(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  if (const Entry* entry = find(name)) {
+    RFD_REQUIRE_MSG(entry->kind == Kind::kCounter,
+                    "metric registered with a different kind");
+    return counters_[entry->index];
+  }
+  counters_.emplace_back();
+  entries_.push_back({name, Kind::kCounter, counters_.size() - 1});
+  return counters_.back();
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  if (const Entry* entry = find(name)) {
+    RFD_REQUIRE_MSG(entry->kind == Kind::kGauge,
+                    "metric registered with a different kind");
+    return gauges_[entry->index];
+  }
+  gauges_.emplace_back();
+  entries_.push_back({name, Kind::kGauge, gauges_.size() - 1});
+  return gauges_.back();
+}
+
+Histo& Registry::histogram(const std::string& name) {
+  if (const Entry* entry = find(name)) {
+    RFD_REQUIRE_MSG(entry->kind == Kind::kHisto,
+                    "metric registered with a different kind");
+    return histos_[entry->index];
+  }
+  histos_.emplace_back();
+  entries_.push_back({name, Kind::kHisto, histos_.size() - 1});
+  return histos_.back();
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  const Entry* entry = find(name);
+  return entry != nullptr && entry->kind == Kind::kCounter
+             ? &counters_[entry->index]
+             : nullptr;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  const Entry* entry = find(name);
+  return entry != nullptr && entry->kind == Kind::kGauge
+             ? &gauges_[entry->index]
+             : nullptr;
+}
+
+const Histo* Registry::find_histogram(const std::string& name) const {
+  const Entry* entry = find(name);
+  return entry != nullptr && entry->kind == Kind::kHisto
+             ? &histos_[entry->index]
+             : nullptr;
+}
+
+void Registry::snapshot(TraceWriter& out, double t, std::int64_t tick) const {
+  if (!out.ok()) return;
+  JsonLine line;
+  line.str("type", "snap").num("t", t).integer("tick", tick);
+  std::string metrics = "{";
+  bool first = true;
+  for (const Entry& entry : entries_) {
+    if (!first) metrics += ',';
+    first = false;
+    metrics += '"';
+    metrics += json_escape(entry.name);
+    metrics += "\":";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        metrics += std::to_string(counters_[entry.index].value());
+        break;
+      case Kind::kGauge: {
+        char buf[64];
+        const double v = gauges_[entry.index].value();
+        if (std::isfinite(v)) {
+          std::snprintf(buf, sizeof(buf), "%.10g", v);
+        } else {
+          std::snprintf(buf, sizeof(buf), "null");
+        }
+        metrics += buf;
+        break;
+      }
+      case Kind::kHisto: {
+        const Summary& s = histos_[entry.index].summary();
+        metrics += JsonLine{}
+                       .integer("count", s.count())
+                       .num("mean", s.count() > 0 ? s.mean() : 0.0)
+                       .num("p50", s.count() > 0 ? s.percentile(0.5) : 0.0)
+                       .num("p99", s.count() > 0 ? s.percentile(0.99) : 0.0)
+                       .num("max", s.count() > 0 ? s.max() : 0.0)
+                       .finish();
+        break;
+      }
+    }
+  }
+  metrics += '}';
+  line.raw("m", metrics);
+  out.write_line(line.finish());
+}
+
+}  // namespace rfd::obs

@@ -1,0 +1,182 @@
+#include "obs/replay.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rfd::obs {
+namespace {
+
+// Minimal field extraction for the flat, fixed-order record grammar
+// TraceWriter produces (string values in the records we replay never
+// contain escaped quotes, and the replayed types have no nested objects).
+bool find_value(std::string_view line, std::string_view key,
+                std::string_view& value) {
+  std::string pattern = "\"";
+  pattern.append(key);
+  pattern += "\":";
+  const std::size_t pos = line.find(pattern);
+  if (pos == std::string_view::npos) return false;
+  value = line.substr(pos + pattern.size());
+  return true;
+}
+
+bool field_num(std::string_view line, std::string_view key, double& out) {
+  std::string_view value;
+  if (!find_value(line, key, value)) return false;
+  char buf[64];
+  const std::size_t len = std::min(value.size(), sizeof(buf) - 1);
+  std::memcpy(buf, value.data(), len);
+  buf[len] = '\0';
+  char* end = nullptr;
+  out = std::strtod(buf, &end);
+  return end != buf;
+}
+
+bool field_str(std::string_view line, std::string_view key,
+               std::string& out) {
+  std::string_view value;
+  if (!find_value(line, key, value)) return false;
+  if (value.empty() || value.front() != '"') return false;
+  value.remove_prefix(1);
+  const std::size_t quote = value.find('"');
+  if (quote == std::string_view::npos) return false;
+  out.assign(value.substr(0, quote));
+  return true;
+}
+
+}  // namespace
+
+ReplayQos replay_qos(const std::string& path) {
+  ReplayQos result;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    result.error = "cannot open " + path;
+    return result;
+  }
+
+  // Ground truth, mirrored from ClusterEngine's scenario interpreter.
+  std::vector<char> ever_active;
+  std::vector<char> truth_active;
+  std::vector<double> down_since;
+  // Standing suspicions: (observer, victim) -> raise time, mirrored from
+  // the engine's cached per-pair verdicts.
+  std::unordered_map<std::int64_t, double> suspicion;
+  auto pair_key = [&](std::int64_t i, std::int64_t j) {
+    return i * static_cast<std::int64_t>(result.max_nodes) + j;
+  };
+
+  std::string line;
+  std::string kind;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    line.assign(buf);
+    // Reassemble lines longer than the read buffer (log records can be).
+    while (!line.empty() && line.back() != '\n' &&
+           std::fgets(buf, sizeof(buf), f) != nullptr) {
+      line.append(buf);
+    }
+    if (line.empty() || line.front() != '{') continue;
+    ++result.records_read;
+
+    std::string type;
+    if (!field_str(line, "type", type)) continue;
+    double t = 0.0;
+    field_num(line, "t", t);
+
+    if (type == "run") {
+      double n = 0.0;
+      double max_nodes = 0.0;
+      double duration = 0.0;
+      field_num(line, "n", n);
+      field_num(line, "max_nodes", max_nodes);
+      field_num(line, "duration_ms", duration);
+      result.n = static_cast<int>(n);
+      result.max_nodes = static_cast<int>(max_nodes);
+      result.duration_ms = duration;
+      const std::size_t cap = static_cast<std::size_t>(result.max_nodes);
+      ever_active.assign(cap, 0);
+      truth_active.assign(cap, 0);
+      down_since.assign(cap, -1.0);
+      for (int i = 0; i < result.n; ++i) {
+        ever_active[static_cast<std::size_t>(i)] = 1;
+        truth_active[static_cast<std::size_t>(i)] = 1;
+      }
+    } else if (type == "fault") {
+      // The engine emits fault records only when they take effect, so the
+      // replayed transition is unconditional.
+      if (!field_str(line, "kind", kind)) continue;
+      double node = -1.0;
+      field_num(line, "node", node);
+      const auto j = static_cast<std::int64_t>(node);
+      if (j < 0 || j >= result.max_nodes) continue;
+      if (kind == "crash" || kind == "leave") {
+        truth_active[static_cast<std::size_t>(j)] = 0;
+        down_since[static_cast<std::size_t>(j)] = t;
+      } else if (kind == "recover" || kind == "join") {
+        ever_active[static_cast<std::size_t>(j)] = 1;
+        truth_active[static_cast<std::size_t>(j)] = 1;
+        down_since[static_cast<std::size_t>(j)] = -1.0;
+        // A restarted/joined process has no peer memory: its row of
+        // standing suspicions is wiped (ClusterNode::reset_peers).
+        for (std::int64_t v = 0; v < result.max_nodes; ++v) {
+          suspicion.erase(pair_key(j, v));
+        }
+      }
+      // partition / heal / storm records do not change the crashed set.
+    } else if (type == "suspect") {
+      double observer = -1.0;
+      double victim = -1.0;
+      double down = 0.0;
+      field_num(line, "observer", observer);
+      field_num(line, "victim", victim);
+      field_num(line, "down", down);
+      suspicion[pair_key(static_cast<std::int64_t>(observer),
+                         static_cast<std::int64_t>(victim))] = t;
+      ++result.suspicion_raises;
+      if (down == 0.0) ++result.false_suspicions;
+    } else if (type == "clear") {
+      double observer = -1.0;
+      double victim = -1.0;
+      field_num(line, "observer", observer);
+      field_num(line, "victim", victim);
+      suspicion.erase(pair_key(static_cast<std::int64_t>(observer),
+                               static_cast<std::int64_t>(victim)));
+      ++result.suspicion_clears;
+    } else if (type == "lost") {
+      double dropped = 0.0;
+      field_num(line, "dropped", dropped);
+      result.lost_records += static_cast<std::int64_t>(dropped);
+    }
+  }
+  std::fclose(f);
+
+  if (result.max_nodes <= 0) {
+    result.error = "no run header record in " + path;
+    return result;
+  }
+
+  // Finalize, in the same (victim outer, observer inner) order as
+  // ClusterEngine::finalize so the Welford mean accumulates identically.
+  for (std::int64_t j = 0; j < result.max_nodes; ++j) {
+    const std::size_t js = static_cast<std::size_t>(j);
+    if (!ever_active[js] || truth_active[js] || down_since[js] < 0.0) {
+      continue;
+    }
+    const double down_at = down_since[js];
+    for (std::int64_t i = 0; i < result.max_nodes; ++i) {
+      if (i == j || !truth_active[static_cast<std::size_t>(i)]) continue;
+      const auto it = suspicion.find(pair_key(i, j));
+      if (it == suspicion.end()) continue;  // not suspected (or never met)
+      result.detection_latency_ms.add(std::max(0.0, it->second - down_at));
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace rfd::obs

@@ -1,0 +1,72 @@
+// Fixed-capacity staging ring between the simulation hot path and the
+// trace file writer.
+//
+// The simulator is single-threaded, so this is a ring in the
+// lock-free-in-spirit sense: push() is a bounded handful of instructions
+// (one store, one index increment, one wrap mask) with no formatting, no
+// I/O and no allocation, and the expensive work happens only when the
+// writer drains at controlled points (check ticks, snapshots, flush).
+// When the ring fills, the caller decides between draining synchronously
+// (lossless) and dropping; drops are counted exactly so a lossy trace
+// always says how lossy it was.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/record.hpp"
+
+namespace rfd::obs {
+
+class RecordRing {
+ public:
+  explicit RecordRing(int capacity) {
+    std::size_t cap = 1;
+    while (cap < static_cast<std::size_t>(capacity < 2 ? 2 : capacity)) {
+      cap <<= 1;
+    }
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+  std::size_t size() const { return head_ - tail_; }
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return size() == buffer_.size(); }
+
+  /// Appends `r`; the caller must have checked full() (or accept that a
+  /// full ring overwrites nothing - push on full is a checked error in
+  /// debug, a silent no-op otherwise, so callers route overflow through
+  /// their drop/drain policy instead).
+  bool push(const Record& r) {
+    if (full()) return false;
+    buffer_[head_ & mask_] = r;
+    ++head_;
+    return true;
+  }
+
+  /// Pops the oldest record into `out`; false when empty.
+  bool pop(Record& out) {
+    if (empty()) return false;
+    out = buffer_[tail_ & mask_];
+    ++tail_;
+    return true;
+  }
+
+  /// Zero-copy drain: oldest record in place, or nullptr when empty.
+  /// The slot stays valid until the next push; pair with advance().
+  const Record* peek() const {
+    return empty() ? nullptr : &buffer_[tail_ & mask_];
+  }
+  void advance() { ++tail_; }
+
+ private:
+  std::vector<Record> buffer_;
+  std::size_t mask_ = 0;
+  /// Monotonic positions; the index is position & mask_. uint64 wraps
+  /// after ~10^19 records - beyond any run.
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace rfd::obs

@@ -177,7 +177,10 @@ void EventQueue::run_until(double t_end) {
       --size_;
       now_ = top.at;
       ++executed_;
-      task();  // may schedule more events, including at now()
+      {
+        obs::ScopedPhase phase(profiler_, obs::Phase::kDispatch);
+        task();  // may schedule more events, including at now()
+      }
     }
     if (wheel_count_ == 0) {
       if (ready_.empty() || ready_.top().at > t_end) break;

@@ -37,6 +37,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "runtime/task.hpp"
 
 namespace rfd::rt {
@@ -87,6 +88,12 @@ class EventQueue {
   bool pending(TimerId id) const;
 
   double now() const { return now_; }
+
+  /// Attaches the observability profiler: when non-null, task dispatch in
+  /// run_until is timed as obs::Phase::kDispatch (sampled; see
+  /// obs/profile.hpp). Null (the default) costs one predictable branch
+  /// per event.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
   /// Runs events in time order until the queue drains or the next event
   /// lies beyond `t_end`; the clock finishes at min(t_end, last event).
@@ -150,6 +157,7 @@ class EventQueue {
   std::int64_t collected_tick_ = 0;
   double tick_ms_;
 
+  obs::Profiler* profiler_ = nullptr;
   double now_ = 0.0;
   std::int64_t next_seq_ = 0;
   std::int64_t executed_ = 0;

@@ -70,15 +70,28 @@ void Network::clear_storm() {
   storm_prob_ = 0.0;
 }
 
+void Network::trace_drop(NodeId from, NodeId to, const char* why) {
+  obs::Record r;
+  r.type = obs::RecordType::kDrop;
+  r.t = queue_->now();
+  r.a = from;
+  r.b = to;
+  r.s = why;
+  trace_->emit(r);
+}
+
 std::optional<double> Network::route(NodeId from, NodeId to) {
+  obs::ScopedPhase phase(profiler_, obs::Phase::kRoute);
   ++sent_;
   if (partitioned(from, to)) {
     ++dropped_;
     ++partition_dropped_;
+    if (trace_ != nullptr) trace_drop(from, to, "partition");
     return std::nullopt;
   }
   if (rng_.chance(params_.loss_prob)) {
     ++dropped_;
+    if (trace_ != nullptr) trace_drop(from, to, "loss");
     return std::nullopt;
   }
   return sample_delay();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/trace_writer.hpp"
 #include "runtime/event_queue.hpp"
 
 namespace rfd::rt {
@@ -76,12 +77,22 @@ class Network {
   /// Drops attributable to the installed partition (subset of dropped()).
   std::int64_t partition_dropped() const { return partition_dropped_; }
 
+  /// Attaches the trace sink: when non-null, every drop verdict emits a
+  /// "drop" record naming the reason (partition vs loss). Null (the
+  /// default) costs one predictable branch per drop.
+  void set_trace(obs::TraceWriter* trace) { trace_ = trace; }
+  /// Attaches the profiler: route() is timed as obs::Phase::kRoute.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   int component_of(NodeId node) const;
+  void trace_drop(NodeId from, NodeId to, const char* why);
 
   EventQueue* queue_;
   Rng rng_;
   NetworkParams params_;
+  obs::TraceWriter* trace_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   std::int64_t sent_ = 0;
   std::int64_t dropped_ = 0;
   std::int64_t partition_dropped_ = 0;

@@ -20,11 +20,22 @@ QosResult run_qos_experiment(const QosConfig& config, std::uint64_t seed) {
 
   // Heartbeat pump: the peer (node 1) sends to the monitor (node 0) until
   // it crashes.
+  double last_arrival = -1.0;
   std::function<void()> pump = [&] {
     const double now = queue.now();
     if (peer_crashes && now >= config.crash_at_ms) return;
-    network.send(1, 0, [&detector, &queue] {
-      detector->on_heartbeat(queue.now());
+    network.send(1, 0, [&] {
+      const double at = queue.now();
+      detector->on_heartbeat(at);
+      if (config.trace != nullptr) {
+        obs::Record r;
+        r.type = obs::RecordType::kArrival;
+        r.t = at;
+        r.a = static_cast<std::int32_t>(config.trace_run_id);
+        r.x = last_arrival >= 0.0 ? at - last_arrival : 0.0;
+        config.trace->emit(r);
+      }
+      last_arrival = at;
     });
     queue.schedule_in(config.heartbeat_interval_ms, pump);
   };
@@ -42,6 +53,15 @@ QosResult run_qos_experiment(const QosConfig& config, std::uint64_t seed) {
     const double now = queue.now();
     const bool suspect = detector->suspects(now);
     const bool peer_alive = !peer_crashes || now < config.crash_at_ms;
+
+    if (config.trace != nullptr && suspect != prev_suspect) {
+      obs::Record r;
+      r.type = obs::RecordType::kVerdict;
+      r.t = now;
+      r.a = static_cast<std::int32_t>(config.trace_run_id);
+      r.c = suspect ? 1 : 0;
+      config.trace->emit(r);
+    }
 
     if (peer_alive) {
       ++polls_pre_crash;
@@ -104,8 +124,11 @@ QosAggregate run_qos_sweep(const QosConfig& config, std::uint64_t seed,
   RFD_REQUIRE(runs > 0);
   QosAggregate agg;
   for (int i = 0; i < runs; ++i) {
-    const QosResult r =
-        run_qos_experiment(config, mix_seed(seed, static_cast<std::uint64_t>(i)));
+    QosConfig run_config = config;
+    // Each seeded run gets its own id so sweeps can share one stream.
+    run_config.trace_run_id = config.trace_run_id + i;
+    const QosResult r = run_qos_experiment(
+        run_config, mix_seed(seed, static_cast<std::uint64_t>(i)));
     if (r.crashed) {
       if (r.detection_time_ms >= 0.0) {
         agg.detection_time_ms.add(r.detection_time_ms);

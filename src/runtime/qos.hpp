@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/stats.hpp"
+#include "obs/trace_writer.hpp"
 #include "runtime/detectors.hpp"
 #include "runtime/network.hpp"
 
@@ -28,6 +29,12 @@ struct QosConfig {
   /// Peer crash time; <= 0 or >= duration means the peer never crashes.
   double crash_at_ms = 40'000.0;
   double poll_interval_ms = 5.0;
+  /// Optional trace sink (not owned). When set, the experiment emits one
+  /// "arrival" record per delivered heartbeat (with the inter-arrival
+  /// gap) and one "verdict" record per polled suspicion flip, tagged with
+  /// trace_run_id so sweep runs can share a stream.
+  obs::TraceWriter* trace = nullptr;
+  std::int64_t trace_run_id = 0;
 };
 
 struct QosResult {

@@ -1,0 +1,313 @@
+// Observability-layer tests: JSON escaping, staging-ring wraparound and
+// exact overflow accounting, log-sink capture, registry snapshots,
+// byte-identical traces across fixed-seed runs, and the offline QoS
+// re-derivation check - detection percentiles recomputed from the trace
+// must match the engine's live ClusterReport exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/engine.hpp"
+#include "cluster/scenario.hpp"
+#include "common/logging.hpp"
+#include "obs/config.hpp"
+#include "obs/record.hpp"
+#include "obs/registry.hpp"
+#include "obs/replay.hpp"
+#include "obs/ring.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace rfd::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int count_lines_containing(const std::string& text, const std::string& what) {
+  int count = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(what) != std::string::npos) ++count;
+  }
+  return count;
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("gossip(f=3)"), "gossip(f=3)");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonLine, FixedFieldOrderAndNullForNonFinite) {
+  const std::string line = JsonLine{}
+                               .str("type", "x")
+                               .integer("k", 42)
+                               .num("v", 1.5)
+                               .num("bad", std::nan(""))
+                               .boolean("on", true)
+                               .finish();
+  EXPECT_EQ(line, "{\"type\":\"x\",\"k\":42,\"v\":1.5,\"bad\":null,"
+                  "\"on\":true}");
+}
+
+TEST(RecordRing, RoundsCapacityUpToPowerOfTwo) {
+  RecordRing ring(10);
+  EXPECT_EQ(ring.capacity(), 16u);
+}
+
+TEST(RecordRing, PreservesOrderAcrossWraparound) {
+  RecordRing ring(4);  // capacity 4 exactly
+  Record r;
+  r.type = RecordType::kHbSend;
+  std::int64_t next_value = 0;
+  std::int64_t next_expected = 0;
+  // Fill and drain repeatedly so head/tail cross the wrap boundary.
+  for (int round = 0; round < 5; ++round) {
+    while (!ring.full()) {
+      r.c = next_value++;
+      ASSERT_TRUE(ring.push(r));
+    }
+    EXPECT_FALSE(ring.push(r));  // full ring refuses
+    Record out;
+    while (!ring.empty()) {
+      ASSERT_TRUE(ring.pop(out));
+      EXPECT_EQ(out.c, next_expected++);
+    }
+  }
+  EXPECT_EQ(next_value, next_expected);
+}
+
+TEST(TraceWriter, DropOnFullCountsExactlyAndRecordsLoss) {
+  const std::string path = "obs_test_drop.jsonl";
+  Config config;
+  config.trace_path = path;
+  config.ring_capacity = 8;
+  config.drop_on_full = true;
+  {
+    TraceWriter writer(config);
+    ASSERT_TRUE(writer.ok());
+    Record r;
+    r.type = RecordType::kHbSend;
+    for (int i = 0; i < 20; ++i) {
+      r.c = i;
+      writer.emit(r);
+    }
+    EXPECT_EQ(writer.emitted(), 20);
+    EXPECT_EQ(writer.dropped(), 12);  // ring holds 8, 12 overflowed
+    writer.close();
+    // 8 staged records survived, plus the terminal loss-accounting line.
+    EXPECT_EQ(writer.written_records(), 9);
+  }
+  const std::string text = read_file(path);
+  EXPECT_EQ(count_lines_containing(text, "\"type\":\"hb_send\""), 8);
+  EXPECT_EQ(count_lines_containing(text, "{\"type\":\"lost\",\"dropped\":12}"),
+            1);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, LosslessModeDrainsInsteadOfDropping) {
+  const std::string path = "obs_test_lossless.jsonl";
+  Config config;
+  config.trace_path = path;
+  config.ring_capacity = 8;
+  {
+    TraceWriter writer(config);
+    ASSERT_TRUE(writer.ok());
+    Record r;
+    r.type = RecordType::kHbSend;
+    for (int i = 0; i < 1000; ++i) writer.emit(r);
+    writer.close();
+    EXPECT_EQ(writer.dropped(), 0);
+    EXPECT_EQ(writer.written_records(), 1000);
+  }
+  const std::string text = read_file(path);
+  EXPECT_EQ(count_lines_containing(text, "\"type\":\"hb_send\""), 1000);
+  EXPECT_EQ(count_lines_containing(text, "\"type\":\"lost\""), 0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, CapturesLogLinesIntoTheStream) {
+  const std::string path = "obs_test_log.jsonl";
+  Config config;
+  config.trace_path = path;
+  const LogLevel old_level = log_level();
+  {
+    TraceWriter writer(config);
+    ASSERT_TRUE(writer.ok());
+    writer.capture_logs();
+    set_log_level(LogLevel::kInfo);
+    RFD_LOG(kInfo) << "hello \"trace\"";
+    set_log_level(old_level);
+    writer.release_logs();
+    writer.close();
+  }
+  const std::string text = read_file(path);
+  EXPECT_EQ(count_lines_containing(
+                text, "{\"type\":\"log\",\"level\":\"INFO\",\"msg\":"),
+            1);
+  EXPECT_EQ(count_lines_containing(text, "hello \\\"trace\\\""), 1);
+  std::remove(path.c_str());
+}
+
+TEST(Registry, HandlesAreStableAndSnapshotKeepsRegistrationOrder) {
+  const std::string path = "obs_test_snap.jsonl";
+  Config config;
+  config.trace_path = path;
+  {
+    TraceWriter writer(config);
+    ASSERT_TRUE(writer.ok());
+    Registry registry;
+    Counter& c = registry.counter("c.total");
+    Gauge& g = registry.gauge("g.level");
+    Histo& h = registry.histogram("h.latency");
+    c.add(2);
+    g.set(1.5);
+    h.add(10.0);
+    h.add(20.0);
+    // A second lookup returns the same metric.
+    registry.counter("c.total").add(1);
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_EQ(registry.find_counter("c.total"), &c);
+    EXPECT_EQ(registry.find_counter("g.level"), nullptr);  // wrong kind
+    EXPECT_EQ(registry.find_gauge("missing"), nullptr);
+    registry.snapshot(writer, 123.0, 7);
+    writer.close();
+  }
+  const std::string text = read_file(path);
+  const std::string::size_type c_at = text.find("\"c.total\":3");
+  const std::string::size_type g_at = text.find("\"g.level\":1.5");
+  const std::string::size_type h_at = text.find("\"h.latency\":{\"count\":2");
+  EXPECT_EQ(count_lines_containing(text, "{\"type\":\"snap\",\"t\":123,"
+                                         "\"tick\":7,"),
+            1);
+  ASSERT_NE(c_at, std::string::npos);
+  ASSERT_NE(g_at, std::string::npos);
+  ASSERT_NE(h_at, std::string::npos);
+  EXPECT_LT(c_at, g_at);
+  EXPECT_LT(g_at, h_at);
+  std::remove(path.c_str());
+}
+
+cluster::ClusterConfig traced_config(const std::string& trace_path) {
+  cluster::ClusterConfig config;
+  config.n = 12;
+  config.max_nodes = 13;
+  config.topology.kind = cluster::TopologyKind::kGossip;
+  config.topology.digest_size = 12;
+  config.detector.kind = rt::DetectorKind::kChen;
+  config.detector.chen.alpha_ms = 300.0;
+  config.heartbeat_interval_ms = 100.0;
+  config.check_interval_ms = 100.0;
+  config.duration_ms = 20'000.0;
+  config.network.loss_prob = 0.02;
+  std::vector<cluster::NodeId> left, right;
+  for (int i = 0; i < 12; ++i) (i < 6 ? left : right).push_back(i);
+  config.scenario.crash(3'000.0, 2)
+      .partition(6'000.0, {left, right})
+      .heal(8'000.0)
+      .recover(10'000.0, 2)
+      .delay_storm(11'000.0, 12'000.0, 600.0, 0.5)
+      .join(13'000.0, 12)
+      .crash(15'000.0, 7)
+      .leave(16'000.0, 9);
+  config.obs.trace_path = trace_path;
+  config.obs.snapshot_every_ticks = 25;
+  return config;
+}
+
+TEST(Trace, FixedSeedRunsProduceByteIdenticalTraces) {
+  const std::string path_a = "obs_test_run_a.jsonl";
+  const std::string path_b = "obs_test_run_b.jsonl";
+  cluster::run_cluster(traced_config(path_a), 0x0b5);
+  cluster::run_cluster(traced_config(path_b), 0x0b5);
+  const std::string a = read_file(path_a);
+  const std::string b = read_file(path_b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The stream has the expected structure: one header, one terminal end
+  // record, and the scripted faults (all effective in this scenario).
+  EXPECT_EQ(count_lines_containing(a, "{\"type\":\"run\","), 1);
+  EXPECT_EQ(count_lines_containing(a, "{\"type\":\"end\","), 1);
+  EXPECT_EQ(count_lines_containing(a, "{\"type\":\"fault\","), 9);
+  EXPECT_GT(count_lines_containing(a, "{\"type\":\"snap\","), 0);
+  EXPECT_GT(count_lines_containing(a, "{\"type\":\"hb_send\","), 0);
+  EXPECT_GT(count_lines_containing(a, "{\"type\":\"hb_recv\","), 0);
+  EXPECT_GT(count_lines_containing(a, "{\"type\":\"drop\","), 0);
+  EXPECT_GT(count_lines_containing(a, "{\"type\":\"suspect\","), 0);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(Trace, OfflineReplayMatchesLiveClusterReport) {
+  const std::string path = "obs_test_replay.jsonl";
+  const cluster::ClusterReport live =
+      cluster::run_cluster(traced_config(path), 0x0b5);
+  ASSERT_EQ(live.trace_dropped, 0);
+
+  const ReplayQos replayed = replay_qos(path);
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  EXPECT_EQ(replayed.lost_records, 0);
+  EXPECT_EQ(replayed.n, live.n);
+  EXPECT_EQ(replayed.max_nodes, live.max_nodes);
+
+  // Bit-for-bit: the replay adds samples in the same (victim, observer)
+  // order as the engine's finalize, so even the Welford mean matches.
+  ASSERT_GT(live.detection_latency_ms.count(), 0);
+  EXPECT_EQ(replayed.detection_latency_ms.count(),
+            live.detection_latency_ms.count());
+  EXPECT_EQ(replayed.detection_latency_ms.mean(),
+            live.detection_latency_ms.mean());
+  EXPECT_EQ(replayed.detection_latency_ms.percentile(0.5),
+            live.detection_latency_ms.percentile(0.5));
+  EXPECT_EQ(replayed.detection_latency_ms.percentile(0.99),
+            live.detection_latency_ms.percentile(0.99));
+  EXPECT_EQ(replayed.false_suspicions, live.false_suspicions);
+  EXPECT_EQ(replayed.suspicion_raises, live.suspicion_raises);
+  EXPECT_EQ(replayed.suspicion_clears, live.suspicion_clears);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, DisabledTraceLeavesReportEmpty) {
+  cluster::ClusterConfig config = traced_config("");
+  config.obs.trace_path.clear();
+  const cluster::ClusterReport r = cluster::run_cluster(config, 0x0b5);
+  EXPECT_EQ(r.trace_records, 0);
+  EXPECT_TRUE(r.profile.empty());
+  EXPECT_GT(r.detection_latency_ms.count(), 0);
+}
+
+TEST(Trace, ProfiledRunReportsPhaseRollups) {
+  const std::string path = "obs_test_profile.jsonl";
+  cluster::ClusterConfig config = traced_config(path);
+  config.obs.profile = true;
+  const cluster::ClusterReport r = cluster::run_cluster(config, 0x0b5);
+  ASSERT_FALSE(r.profile.empty());
+  bool saw_dispatch = false;
+  for (const auto& stat : r.profile) {
+    EXPECT_GT(stat.calls, 0);
+    EXPECT_GE(stat.calls, stat.sampled);
+    if (stat.phase == "dispatch") saw_dispatch = true;
+  }
+  EXPECT_TRUE(saw_dispatch);
+  const std::string text = read_file(path);
+  EXPECT_GT(count_lines_containing(text, "{\"type\":\"profile\","), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rfd::obs
