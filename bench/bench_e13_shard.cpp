@@ -1,0 +1,157 @@
+// Experiment E13: sharded-core scaling - what the deterministic
+// multi-threaded simulation core buys at cluster scale.
+//
+// The E12 gossip workload (heartbeat fabric + fixed-timeout detectors +
+// a mid-run crash wave) runs at n in {1024, 4096, 10240} for shards in
+// {1, 2, 4, 8}; each cell reports events/sec, wall ms and msgs/node/s,
+// plus the speedup over the shards=1 run of the same n. Because the
+// sharded engine is bit-for-bit shard-count-invariant (see
+// cluster/engine.cpp), every row of one n is the *same simulation* - the
+// bench asserts the invariance on its own results, so a determinism
+// regression fails the bench before it can mislead the scaling numbers.
+//
+// RFD_E13_SMOKE=1 restricts to n=4096, shards in {1, 2} for CI, which
+// gates shards=2 at >= 1.15x the sharded shards=1 run (4-vCPU runners).
+// Rows land in BENCH_e13_shard.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/engine.hpp"
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace rfd {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::ClusterReport;
+using cluster::TopologyKind;
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+// The E12a gossip scaling cell (identical tuning, so E12/E13 numbers are
+// directly comparable): detector timeout tracking the dissemination
+// cadence, a crash wave at 40% of the horizon.
+ClusterConfig gossip_config(int n) {
+  constexpr double kIntervalMs = 250.0;
+  ClusterConfig config;
+  config.n = n;
+  config.topology.kind = TopologyKind::kGossip;
+  config.topology.digest_size = std::max(32, n / 8);
+  config.heartbeat_interval_ms = kIntervalMs;
+  config.check_interval_ms = 50.0;
+  config.detector.kind = rt::DetectorKind::kFixed;
+  const double per_round =
+      static_cast<double>(config.topology.gossip_fanout) *
+      config.topology.digest_size;
+  const double gap_ms = kIntervalMs * std::max(1.0, n / per_round);
+  config.detector.fixed.timeout_ms = std::max(1'000.0, 12.0 * gap_ms);
+  config.bootstrap_grace_ms =
+      std::max(1500.0, config.detector.fixed.timeout_ms);
+  config.duration_ms = 12'000.0;
+  const int crashes = std::max(1, n / 64);
+  config.scenario =
+      cluster::multi_crash_scenario(n, crashes, config.duration_ms * 0.4);
+  return config;
+}
+
+/// The fields the shard-count invariance is asserted on (cheap proxies
+/// for the full report; the dedicated test covers traces byte-for-byte).
+struct Invariant {
+  std::int64_t events = 0;
+  std::int64_t messages = 0;
+  std::int64_t false_suspicions = 0;
+  std::int64_t detections = 0;
+
+  bool operator==(const Invariant&) const = default;
+};
+
+}  // namespace
+}  // namespace rfd
+
+int main(int argc, char** argv) {
+  using namespace rfd;
+  const bool smoke = std::getenv("RFD_E13_SMOKE") != nullptr;
+  bench::JsonReport json("e13_shard");
+
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{4096} : std::vector<int>{1024, 4096, 10240};
+  const std::vector<int> shard_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  std::printf("E13: sharded-core scaling (gossip fabric, %s)\n\n",
+              smoke ? "smoke: n=4096, shards in {1, 2}"
+                    : "n in {1024, 4096, 10240}, shards in {1, 2, 4, 8}");
+
+  Table table({"n", "shards", "sim events", "wall ms", "events/s",
+               "msgs/node/s", "speedup"});
+  for (const int n : sizes) {
+    ClusterConfig config = gossip_config(n);
+    if (n >= 10'240) config.duration_ms = 6'000.0;
+    double base_rate = 0.0;
+    Invariant baseline;
+    for (const int shards : shard_counts) {
+      config.shards = shards;
+      ClusterReport r;
+      const double ms =
+          wall_ms([&] { r = cluster::run_cluster(config, 0xe13); });
+      const double events_per_s =
+          ms > 0.0 ? static_cast<double>(r.events_executed) / (ms / 1000.0)
+                   : 0.0;
+      const Invariant inv{r.events_executed, r.messages_sent,
+                          r.false_suspicions,
+                          r.detection_latency_ms.count()};
+      if (shards == shard_counts.front()) {
+        base_rate = events_per_s;
+        baseline = inv;
+      } else {
+        // Same simulation or the scaling numbers are meaningless.
+        RFD_REQUIRE_MSG(inv == baseline,
+                        "sharded run diverged from shards=1 results");
+      }
+      const double speedup = base_rate > 0.0 ? events_per_s / base_rate : 0.0;
+      table.add_row({Table::num(n), Table::num(shards),
+                     Table::num(r.events_executed), Table::fixed(ms, 1),
+                     Table::fixed(events_per_s, 0),
+                     Table::fixed(r.messages_per_node_per_s, 1),
+                     Table::fixed(speedup, 2) + "x"});
+      json.row("shard_scaling")
+          .str("topology", "gossip")
+          .num("n", n)
+          .num("shards", shards)
+          .num("sim_duration_ms", config.duration_ms)
+          .num("events_executed", static_cast<double>(r.events_executed))
+          .num("wall_ms", ms)
+          .num("events_per_s", events_per_s)
+          .num("msgs_per_node_per_s", r.messages_per_node_per_s)
+          .num("payload_bytes_per_node_per_s",
+               r.payload_bytes_per_node_per_s)
+          .num("peak_event_queue", static_cast<double>(r.peak_event_queue))
+          .num("speedup_vs_one_shard", speedup);
+    }
+  }
+  table.print("E13: events/sec by shard count (gossip, crash wave)");
+  std::printf(
+      "\nspeedup is vs the shards=1 run of the same n (same binary, same\n"
+      "barrier protocol), so it isolates the parallelism win; results are\n"
+      "asserted identical across shard counts before any rate is "
+      "reported.\n\n");
+
+  json.write();
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,13 +8,15 @@
 // membership still converges on the truth after every disruption.
 //
 //   ./cluster_demo [seed] [--trace <path|->] [--trace-every <ticks>]
-//                  [--profile]
+//                  [--profile] [--shards <count>]
 //
 // --trace streams a JSONL event trace (heartbeats, suspicions, faults,
 // drops; see the README's Observability section) to the given path, "-"
 // for stdout. --trace-every interleaves a metrics snapshot record every
 // that many check ticks (default 10 when tracing). --profile adds phase
-// timer rollups to the end of the trace.
+// timer rollups to the end of the trace. --shards runs the sharded
+// parallel core; every metric and trace byte is identical for any value
+// (try it), only wall-clock changes.
 #include <cstdio>
 #include <cstdlib>
 
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   config.obs.snapshot_every_ticks = static_cast<int>(
       cli.get_int("trace-every", config.obs.trace_path.empty() ? 0 : 10));
   config.obs.profile = cli.get_bool("profile", false);
+  config.shards = static_cast<int>(cli.get_int("shards", 1));
 
   std::vector<cluster::NodeId> left, right;
   for (int i = 0; i < 48; ++i) (i < 24 ? left : right).push_back(i);

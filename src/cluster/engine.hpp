@@ -41,6 +41,12 @@ struct ClusterConfig {
   int hot_transmissions = 4;
   double duration_ms = 30'000.0;
   Scenario scenario;
+  /// Worker shards the node set is partitioned across (1 = run entirely
+  /// on the calling thread). Runs are bit-for-bit identical - metrics
+  /// and traces - for every shard count; shards only changes wall-clock.
+  /// Values beyond the node count are clamped. See engine.cpp for the
+  /// barrier protocol and the determinism argument.
+  int shards = 1;
   /// Observability: trace sink, snapshot cadence, phase profiling. The
   /// defaults keep everything off; a disabled trace costs the hot path
   /// one predictable branch per instrumentation point.

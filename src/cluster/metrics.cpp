@@ -13,6 +13,8 @@ void finalize_rates(ClusterReport& report) {
       static_cast<double>(report.messages_sent) / node_seconds;
   report.entries_per_node_per_s =
       static_cast<double>(report.digest_entries_sent) / node_seconds;
+  report.payload_bytes_per_node_per_s =
+      static_cast<double>(report.digest_payload_bytes) / node_seconds;
   report.false_suspicions_per_node_per_min =
       static_cast<double>(report.false_suspicions) / node_seconds * 60.0;
 }
@@ -24,6 +26,7 @@ void fill_report_from_registry(ClusterReport& report,
     return c != nullptr ? c->value() : 0;
   };
   report.digest_entries_sent = counter(metric::kDigestEntries);
+  report.digest_payload_bytes = counter(metric::kPayloadBytes);
   report.suspicion_raises = counter(metric::kSuspicionRaises);
   report.suspicion_clears = counter(metric::kSuspicionClears);
   report.false_suspicions = counter(metric::kFalseSuspicions);

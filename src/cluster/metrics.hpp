@@ -22,6 +22,7 @@ namespace rfd::cluster {
 /// names are what snapshot records carry in the trace stream.
 namespace metric {
 inline constexpr const char* kDigestEntries = "cluster.digest_entries_sent";
+inline constexpr const char* kPayloadBytes = "cluster.digest_payload_bytes";
 inline constexpr const char* kSuspicionRaises = "cluster.suspicion_raises";
 inline constexpr const char* kSuspicionClears = "cluster.suspicion_clears";
 inline constexpr const char* kFalseSuspicions = "cluster.false_suspicions";
@@ -53,8 +54,12 @@ struct ClusterReport {
   /// Piggybacked (id, counter) entries beyond the senders' own - the
   /// bandwidth the topology spends on transitive dissemination.
   std::int64_t digest_entries_sent = 0;
+  /// Encoded payload bytes of every surviving message (the delta-
+  /// compressed wire size; see cluster/digest_codec.hpp).
+  std::int64_t digest_payload_bytes = 0;
   double messages_per_node_per_s = 0.0;
   double entries_per_node_per_s = 0.0;
+  double payload_bytes_per_node_per_s = 0.0;
 
   // Simulation-core throughput inputs (filled by the engine; the E12
   // bench divides events by wall-clock to get events/sec).

@@ -35,6 +35,7 @@ void ClusterNode::reset_peers(double now,
     r = PeerRecord{};
   }
   hot_queue_.clear();
+  hot_head_ = 0;
   known_count_ = 0;
   ++membership_version_;
   for (NodeId contact : contacts) {

@@ -322,13 +322,17 @@ class ClusterNode {
   void select_digest(int budget, Filter&& keep, std::vector<NodeId>& out) {
     if (budget <= 0 || known_count_ == 0) return;
     int appended = 0;
-    // Hot pass: drain queued advances front-to-back, compacting out the
-    // entries whose transmission budget is exhausted. Stops as soon as
-    // the budget fills - the untouched tail stays queued as-is, so a
-    // full-budget call costs O(budget), not O(queue length).
+    // Hot pass: drain queued advances front-to-back. Entries that must
+    // stay queued (kept with leftover budget, or filtered out by `keep`)
+    // are collected in the reusable survivor scratch and written back
+    // just below the scan point, which becomes the new queue head - the
+    // scanned prefix is compacted in place without ever copying the
+    // untouched tail down, so a send costs O(entries scanned), not
+    // O(queue length). The emitted sequence and the resulting queue
+    // content are identical to the old full-compaction pass.
     const std::size_t queued = hot_queue_.size();
-    std::size_t read = 0;
-    std::size_t write = 0;
+    std::size_t read = hot_head_;
+    hot_scratch_.clear();
     for (; read < queued && appended < budget; ++read) {
       const NodeId candidate = hot_queue_[read];
       PeerHot& h = hot_[static_cast<std::size_t>(candidate)];
@@ -339,13 +343,20 @@ class ClusterNode {
         --h.hot_remaining;
         if (h.hot_remaining <= 0) continue;  // drained: drop from queue
       }
-      hot_queue_[write++] = candidate;
+      hot_scratch_.push_back(candidate);
     }
-    if (write != read) {
-      std::copy(hot_queue_.begin() + static_cast<std::ptrdiff_t>(read),
-                hot_queue_.end(),
-                hot_queue_.begin() + static_cast<std::ptrdiff_t>(write));
-      hot_queue_.resize(write + (queued - read));
+    hot_head_ = read - hot_scratch_.size();
+    std::copy(hot_scratch_.begin(), hot_scratch_.end(),
+              hot_queue_.begin() + static_cast<std::ptrdiff_t>(hot_head_));
+    if (hot_head_ == hot_queue_.size()) {
+      hot_queue_.clear();
+      hot_head_ = 0;
+    } else if (hot_head_ >= 1024 && hot_head_ * 2 >= hot_queue_.size()) {
+      // Amortized: reclaim the dead prefix once it dominates the vector.
+      hot_queue_.erase(hot_queue_.begin(),
+                       hot_queue_.begin() +
+                           static_cast<std::ptrdiff_t>(hot_head_));
+      hot_head_ = 0;
     }
     // Rotation pass over the dense flags array (an id just taken from
     // the hot queue may repeat; the receiver treats the duplicate as a
@@ -377,7 +388,9 @@ class ClusterNode {
   /// Current hot-queue occupancy (ids with undrained piggyback budget);
   /// snapshotted by the observability layer as a dissemination-backlog
   /// gauge.
-  std::size_t hot_queue_depth() const { return hot_queue_.size(); }
+  std::size_t hot_queue_depth() const {
+    return hot_queue_.size() - hot_head_;
+  }
 
  private:
   static constexpr std::uint8_t kKnownFlag = 1;
@@ -416,9 +429,15 @@ class ClusterNode {
   int digest_cursor_ = 0;
   int known_count_ = 0;
   /// Ids with recent counter advances, FIFO; deduplicated via
-  /// PeerHot::hot_remaining (> 0 <=> queued), so its length never
-  /// exceeds max_nodes_.
+  /// PeerHot::hot_remaining (> 0 <=> queued), so its occupancy never
+  /// exceeds max_nodes_. Live entries occupy [hot_head_, size());
+  /// select_digest consumes from hot_head_ and writes bounded survivor
+  /// runs back in place of the scanned prefix (see there).
   std::vector<NodeId> hot_queue_;
+  std::size_t hot_head_ = 0;
+  /// Reusable survivor scratch for select_digest (bounded by the entries
+  /// scanned per call).
+  std::vector<NodeId> hot_scratch_;
 };
 
 }  // namespace rfd::cluster

@@ -77,13 +77,13 @@ class Topology {
   /// records). Topologies with internal role state - the hierarchical
   /// fabric's acting leaders - emit "leader" records on role flips;
   /// stateless topologies ignore it.
-  void set_trace(obs::TraceWriter* trace, const rt::EventQueue* clock) {
+  void set_trace(obs::RecordSink* trace, const rt::EventQueue* clock) {
     trace_ = trace;
     clock_ = clock;
   }
 
  protected:
-  obs::TraceWriter* trace_ = nullptr;
+  obs::RecordSink* trace_ = nullptr;
   const rt::EventQueue* clock_ = nullptr;
 };
 

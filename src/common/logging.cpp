@@ -1,6 +1,7 @@
 #include "common/logging.hpp"
 
 #include <cstdio>
+#include <mutex>
 
 namespace rfd {
 namespace {
@@ -15,10 +16,20 @@ struct SinkStorage {
   void* ctx = nullptr;
 };
 
+/// Guards both installation and dispatch: a sink is installed as one
+/// atomic (fn, ctx) pair and never invoked concurrently, so every line it
+/// receives arrives whole even when multiple threads log at once.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
 SinkStorage& sink_storage() {
   static SinkStorage sink;
   return sink;
 }
+
+thread_local std::vector<BufferedLogLine>* t_log_buffer = nullptr;
 
 }  // namespace
 
@@ -43,19 +54,32 @@ const char* log_level_name(LogLevel level) {
 }
 
 void set_log_sink(LogSinkFn fn, void* ctx) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
   sink_storage().fn = fn;
   sink_storage().ctx = ctx;
 }
 
 void clear_log_sink(void* ctx) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
   if (sink_storage().ctx == ctx) {
     sink_storage().fn = nullptr;
     sink_storage().ctx = nullptr;
   }
 }
 
+void set_thread_log_buffer(std::vector<BufferedLogLine>* buffer) {
+  t_log_buffer = buffer;
+}
+
+std::vector<BufferedLogLine>* thread_log_buffer() { return t_log_buffer; }
+
 namespace detail {
 void log_line(LogLevel level, const std::string& line) {
+  if (t_log_buffer != nullptr) {
+    t_log_buffer->push_back({level, line});
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(sink_mutex());
   const SinkStorage& sink = sink_storage();
   if (sink.fn != nullptr) {
     sink.fn(sink.ctx, level, line);

@@ -9,6 +9,7 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace rfd {
 
@@ -23,11 +24,49 @@ const char* log_level_name(LogLevel level);
 /// instead of stderr. The observability layer's TraceWriter installs
 /// itself here so human-readable logs and structured trace records share
 /// one writer (and therefore never interleave mid-line).
+///
+/// Thread safety: install/clear/dispatch are serialized on one internal
+/// mutex, so a sink is installed atomically and is never invoked
+/// concurrently - a log line is always delivered whole. Worker threads of
+/// the sharded engine never reach the sink directly at all: they register
+/// a per-shard line buffer (below) and the coordinator forwards the
+/// buffered lines between parallel phases, in shard order.
 using LogSinkFn = void (*)(void* ctx, LogLevel level, const std::string& line);
 void set_log_sink(LogSinkFn fn, void* ctx);
 /// Removes the sink only if `ctx` is the currently installed one (a later
 /// sink is never clobbered by an earlier owner's teardown).
 void clear_log_sink(void* ctx);
+
+/// One complete buffered log line.
+struct BufferedLogLine {
+  LogLevel level;
+  std::string line;
+};
+
+/// Redirects the *calling thread's* log lines into `buffer` (whole lines,
+/// appended in emission order) instead of the process-wide sink; nullptr
+/// restores direct dispatch. The sharded cluster engine installs one
+/// buffer per worker shard for the duration of each parallel phase and
+/// flushes them at the barrier, so worker-thread log lines can neither
+/// interleave mid-line nor race the trace stream.
+void set_thread_log_buffer(std::vector<BufferedLogLine>* buffer);
+std::vector<BufferedLogLine>* thread_log_buffer();
+
+/// RAII installer for set_thread_log_buffer (restores the previous
+/// binding, so scopes nest).
+class ScopedThreadLogBuffer {
+ public:
+  explicit ScopedThreadLogBuffer(std::vector<BufferedLogLine>* buffer)
+      : previous_(thread_log_buffer()) {
+    set_thread_log_buffer(buffer);
+  }
+  ~ScopedThreadLogBuffer() { set_thread_log_buffer(previous_); }
+  ScopedThreadLogBuffer(const ScopedThreadLogBuffer&) = delete;
+  ScopedThreadLogBuffer& operator=(const ScopedThreadLogBuffer&) = delete;
+
+ private:
+  std::vector<BufferedLogLine>* previous_;
+};
 
 namespace detail {
 void log_line(LogLevel level, const std::string& line);

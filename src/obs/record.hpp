@@ -38,4 +38,15 @@ struct Record {
   const char* s = nullptr;
 };
 
+/// Destination for hot-path records. TraceWriter is the terminal sink
+/// (stages into its ring and writes JSONL); the sharded cluster engine
+/// interposes per-shard staging buffers that are merged into one writer
+/// in a deterministic order at each barrier. Emitters (network, topology,
+/// engine) hold a RecordSink* so they work identically under both.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void emit(const Record& r) = 0;
+};
+
 }  // namespace rfd::obs

@@ -49,7 +49,7 @@ class JsonLine {
   bool first_ = true;
 };
 
-class TraceWriter {
+class TraceWriter final : public RecordSink {
  public:
   /// Opens config.trace_path ("-" = stdout). ok() reports success; all
   /// operations on a failed writer are no-ops.
@@ -63,7 +63,7 @@ class TraceWriter {
   /// Hot path: stages one record. On a full ring, either drains
   /// synchronously (lossless, default) or drops and counts exactly
   /// (config.drop_on_full).
-  void emit(const Record& r) {
+  void emit(const Record& r) override {
     ++emitted_;
     if (ring_.push(r)) return;
     if (drop_on_full_) {

@@ -159,12 +159,22 @@ EventQueue::TimerId EventQueue::reschedule(TimerId id, double at) {
   return schedule_cancelable(at, std::move(task));
 }
 
-void EventQueue::run_until(double t_end) {
+void EventQueue::run_until(double t_end) { run(t_end, /*exclusive=*/false); }
+
+void EventQueue::run_before(double t) {
+  if (t < now_) t = now_;  // never rewind the clock
+  run(t, /*exclusive=*/true);
+}
+
+void EventQueue::run(double t_end, bool exclusive) {
+  const auto runnable = [&](double at) {
+    return exclusive ? at < t_end : at <= t_end;
+  };
   for (;;) {
     const double horizon = static_cast<double>(collected_tick_) * tick_ms_;
     while (!ready_.empty()) {
       const Ref top = ready_.top();
-      if (top.at > t_end || top.at >= horizon) break;
+      if (!runnable(top.at) || top.at >= horizon) break;
       ready_.pop();
       Event& e = slab_[top.idx];
       if (e.gen != top.gen) continue;  // slot already reused: stale ref
@@ -183,14 +193,17 @@ void EventQueue::run_until(double t_end) {
       }
     }
     if (wheel_count_ == 0) {
-      if (ready_.empty() || ready_.top().at > t_end) break;
+      if (ready_.empty() || !runnable(ready_.top().at)) break;
       // Nothing between the horizon and the next heap event: jump the
       // horizon straight past it instead of walking empty slots.
       collected_tick_ =
           std::max(collected_tick_, tick_for(ready_.top().at) + 1);
       continue;
     }
-    if (horizon > t_end) break;  // everything due <= t_end already ran
+    // Inclusive runs must collect the slot containing t_end itself;
+    // exclusive runs only need events strictly below it (everything with
+    // at < horizon is already in the ready heap).
+    if (exclusive ? horizon >= t_end : horizon > t_end) break;
     collect_slot();
   }
   now_ = t_end;

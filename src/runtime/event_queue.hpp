@@ -99,6 +99,14 @@ class EventQueue {
   /// lies beyond `t_end`; the clock finishes at min(t_end, last event).
   void run_until(double t_end);
 
+  /// Runs events with `at` strictly before `t`, then advances the clock
+  /// to `t` (clamped to now()). The sharded cluster engine uses this to
+  /// splice externally-driven actions (scenario faults) between the
+  /// events that precede them and the events at exactly their timestamp,
+  /// matching the old single-queue ordering where construction-time fault
+  /// events carried the lowest tiebreak sequence numbers.
+  void run_before(double t);
+
   std::int64_t executed() const { return executed_; }
 
   /// Events currently pending (canceled-but-uncollected entries excluded).
@@ -133,6 +141,7 @@ class EventQueue {
     }
   };
 
+  void run(double t_end, bool exclusive);
   std::uint32_t allocate(double at, Action action);
   void release(std::uint32_t idx);
   /// Files a slab event into the wheel, or into the ready heap when it

@@ -7,24 +7,38 @@
 namespace rfd::rt {
 
 Network::Network(EventQueue& queue, std::uint64_t seed, NetworkParams params)
-    : queue_(&queue), rng_(seed), params_(params) {
+    : queue_(&queue), seed_(seed), rng_(seed), params_(params) {
   RFD_REQUIRE(params.min_delay_ms >= 0.0);
   RFD_REQUIRE(params.loss_prob >= 0.0 && params.loss_prob < 1.0);
 }
 
-double Network::sample_delay() {
+Rng& Network::src_rng(NodeId from) {
+  if (from < 0) return rng_;
+  const std::size_t index = static_cast<std::size_t>(from);
+  while (src_rngs_.size() <= index) {
+    // Deterministic per-source seeding: stream k depends only on the
+    // network seed and k, never on creation order or traffic history.
+    src_rngs_.emplace_back(mix_seed(
+        seed_, 0x50c5'0000u + static_cast<std::uint64_t>(src_rngs_.size())));
+  }
+  return src_rngs_[index];
+}
+
+double Network::sample_delay(Rng& rng) {
   double delay =
-      params_.min_delay_ms + rng_.lognormal(params_.jitter_mu,
-                                            params_.jitter_sigma);
+      params_.min_delay_ms + rng.lognormal(params_.jitter_mu,
+                                           params_.jitter_sigma);
   if (queue_->now() < params_.gst_ms &&
-      rng_.chance(params_.pre_gst_chaos_prob)) {
+      rng.chance(params_.pre_gst_chaos_prob)) {
     delay += params_.pre_gst_extra_ms;
   }
-  if (storm_extra_ms_ > 0.0 && rng_.chance(storm_prob_)) {
+  if (storm_extra_ms_ > 0.0 && rng.chance(storm_prob_)) {
     delay += storm_extra_ms_;
   }
   return delay;
 }
+
+double Network::sample_delay() { return sample_delay(rng_); }
 
 int Network::component_of(NodeId node) const {
   if (node < 0 || static_cast<std::size_t>(node) >= component_.size()) {
@@ -89,12 +103,13 @@ std::optional<double> Network::route(NodeId from, NodeId to) {
     if (trace_ != nullptr) trace_drop(from, to, "partition");
     return std::nullopt;
   }
-  if (rng_.chance(params_.loss_prob)) {
+  Rng& rng = src_rng(from);
+  if (rng.chance(params_.loss_prob)) {
     ++dropped_;
     if (trace_ != nullptr) trace_drop(from, to, "loss");
     return std::nullopt;
   }
-  return sample_delay();
+  return sample_delay(rng);
 }
 
 void Network::send(NodeId from, NodeId to, EventQueue::Action deliver) {

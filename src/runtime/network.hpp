@@ -41,6 +41,13 @@ class Network {
   /// dropped message costs no allocation; the partition/loss/storm
   /// verdicts and the delay are drawn in a fixed RNG order, so runs are
   /// reproducible regardless of which entry point is used.
+  ///
+  /// Randomness is drawn from a per-source stream (derived from the
+  /// network seed and `from`), so the verdict/delay sequence each sender
+  /// sees depends only on its own send history - the property that lets
+  /// the sharded cluster engine replicate one logical network across
+  /// shard-local instances and stay bit-for-bit identical for any shard
+  /// count. A negative `from` falls back to the shared legacy stream.
   std::optional<double> route(NodeId from, NodeId to);
 
   /// Sends a message; `deliver` runs at the arrival time unless the
@@ -80,18 +87,24 @@ class Network {
   /// Attaches the trace sink: when non-null, every drop verdict emits a
   /// "drop" record naming the reason (partition vs loss). Null (the
   /// default) costs one predictable branch per drop.
-  void set_trace(obs::TraceWriter* trace) { trace_ = trace; }
+  void set_trace(obs::RecordSink* trace) { trace_ = trace; }
   /// Attaches the profiler: route() is timed as obs::Phase::kRoute.
   void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
  private:
   int component_of(NodeId node) const;
   void trace_drop(NodeId from, NodeId to, const char* why);
+  /// Per-source RNG stream (lazily created, deterministically seeded from
+  /// the network seed and `from`); the shared legacy stream for from < 0.
+  Rng& src_rng(NodeId from);
+  double sample_delay(Rng& rng);
 
   EventQueue* queue_;
+  std::uint64_t seed_;
   Rng rng_;
+  std::vector<Rng> src_rngs_;
   NetworkParams params_;
-  obs::TraceWriter* trace_ = nullptr;
+  obs::RecordSink* trace_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
   std::int64_t sent_ = 0;
   std::int64_t dropped_ = 0;

@@ -1,0 +1,83 @@
+#include "runtime/shard_executor.hpp"
+
+#include "common/assert.hpp"
+
+namespace rfd::rt {
+
+ShardExecutor::ShardExecutor(int shards)
+    : shards_(shards), errors_(static_cast<std::size_t>(shards)) {
+  RFD_REQUIRE(shards >= 1);
+  threads_.reserve(static_cast<std::size_t>(shards - 1));
+  for (int s = 1; s < shards; ++s) {
+    threads_.emplace_back([this, s] { worker(s); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardExecutor::run_shard(const std::function<void(int)>& fn, int shard) {
+  try {
+    fn(shard);
+  } catch (...) {
+    errors_[static_cast<std::size_t>(shard)] = std::current_exception();
+  }
+}
+
+void ShardExecutor::parallel(const std::function<void(int)>& fn) {
+  if (shards_ == 1) {
+    // Single-shard fast path: no pool, no locks, exceptions propagate
+    // directly.
+    fn(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    running_ = shards_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  run_shard(fn, 0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return running_ == 0; });
+    job_ = nullptr;
+  }
+  for (std::exception_ptr& error : errors_) {
+    if (error != nullptr) {
+      const std::exception_ptr first = error;
+      for (std::exception_ptr& e : errors_) e = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+void ShardExecutor::worker(int shard) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    run_shard(*job, shard);
+    bool last = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      last = --running_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+}  // namespace rfd::rt

@@ -1,0 +1,67 @@
+// Fork-join driver for the sharded simulation core.
+//
+// A ShardExecutor owns a persistent pool of worker threads (one per shard
+// beyond the first; shard 0 always runs on the calling thread) and runs
+// one callback per shard with a full barrier per invocation. The cluster
+// engine advances every shard's event queue to the next check-grid
+// boundary in one parallel() call, exchanges cross-shard messages while
+// the workers are parked, and applies them in the next call - the
+// conservative synchronization protocol that keeps fixed-seed runs
+// bit-for-bit identical for any shard count (see cluster/engine.cpp for
+// the determinism argument).
+//
+// Memory model: the mutex handoff around each invocation sequences every
+// write a shard makes in phase N before every read any shard makes in
+// phase N+1, so phases may freely read data other shards wrote in the
+// previous phase (mailboxes, outboxes) without further synchronization.
+//
+// shards == 1 bypasses the pool and all locking entirely: parallel() is
+// a direct call, so the single-threaded path pays nothing for the
+// machinery.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfd::rt {
+
+class ShardExecutor {
+ public:
+  /// Spawns `shards - 1` workers (shard 0 is the caller's thread).
+  explicit ShardExecutor(int shards);
+  ~ShardExecutor();
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  int shards() const { return shards_; }
+
+  /// Invokes fn(s) for every shard 0..shards()-1 concurrently and
+  /// returns once all invocations finished (a full barrier). If any
+  /// shard's callback throws, the lowest-shard exception is rethrown
+  /// here after the barrier.
+  void parallel(const std::function<void(int)>& fn);
+
+ private:
+  void worker(int shard);
+  void run_shard(const std::function<void(int)>& fn, int shard);
+
+  const int shards_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int running_ = 0;
+  bool stop_ = false;
+  /// One slot per shard, written only by that shard's thread during an
+  /// invocation and read by the caller after the barrier.
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rfd::rt

@@ -6,6 +6,7 @@
 // quadratic) that the E11 bench measures at scale.
 #include <gtest/gtest.h>
 
+#include "cluster/digest_codec.hpp"
 #include "cluster/engine.hpp"
 #include "cluster/node.hpp"
 #include "cluster/scenario.hpp"
@@ -23,10 +24,12 @@ ClusterConfig base_config(TopologyKind kind, int n) {
   config.topology.digest_size = 16;
   config.detector.kind = rt::DetectorKind::kChen;
   // Indirect dissemination (gossip hops, digest rotation) adds jitter a
-  // direct-heartbeat margin would not tolerate: 100ms of alpha flaps on
-  // multi-hop paths. Slack of ~3 heartbeat periods keeps every topology
-  // honest on a calm network - exactly the tuning a real operator does.
-  config.detector.chen.alpha_ms = 300.0;
+  // direct-heartbeat margin would not tolerate, and the sharded core's
+  // barrier delivery adds up to half a check interval more per hop (a
+  // message is observed at the next check-grid boundary after arrival).
+  // Slack of ~4 heartbeat periods keeps every topology honest on a calm
+  // network - exactly the tuning a real operator does.
+  config.detector.chen.alpha_ms = 400.0;
   config.heartbeat_interval_ms = 100.0;
   config.check_interval_ms = 100.0;
   config.duration_ms = 20'000.0;
@@ -252,6 +255,35 @@ TEST(Cluster, GossipMessageLoadIsSublinear) {
             rg16.messages_per_node_per_s * 1.5);
   EXPECT_GT(ra64.messages_per_node_per_s,
             rg64.messages_per_node_per_s);
+}
+
+TEST(DigestCodec, RoundTripsWorstCaseVarints) {
+  // Covers the raw-cursor encode fast path at the varint extremes that a
+  // short simulation never reaches: multi-byte gaps, 32-bit maxima, and
+  // duplicate ids (zero gaps), appended after pre-existing payload bytes
+  // the way the engine reuses pooled buffers.
+  const std::vector<std::int32_t> ids = {0,       5,          5,
+                                         127,     128,        16'384,
+                                         1 << 21, 2'000'000'000};
+  const auto counter_of = [](std::int32_t id) {
+    return static_cast<std::uint32_t>(id) * 2654435761u;
+  };
+  std::vector<std::uint8_t> out = {0xab, 0xcd};  // pre-existing bytes
+  encode_digest(0xdeadbeefu, ids, counter_of, out);
+  ASSERT_GT(out.size(), 2u);
+  EXPECT_EQ(out[0], 0xab);
+  EXPECT_EQ(out[1], 0xcd);
+
+  DigestReader reader(out.data() + 2, out.size() - 2);
+  EXPECT_EQ(reader.varint(), 0xdeadbeefu);
+  ASSERT_EQ(reader.varint(), ids.size());
+  std::int32_t id = 0;
+  for (const std::int32_t expected : ids) {
+    id += static_cast<std::int32_t>(reader.varint());
+    EXPECT_EQ(id, expected);
+    EXPECT_EQ(reader.varint(), counter_of(expected));
+  }
+  EXPECT_TRUE(reader.done());
 }
 
 TEST(Cluster, HierarchicalLoadSitsBetweenGossipAndAllToAll) {

@@ -1,0 +1,142 @@
+// The sharded core's contract: a fixed-seed cluster run is a pure
+// function of (config, seed) and nothing else - the shard count changes
+// wall-clock, never a single metric or trace byte. These tests run the
+// same scenarios at shards = 1, 2 and 4 and require field-identical
+// reports and byte-identical JSONL traces (see cluster/engine.cpp for
+// the barrier protocol and the determinism argument being verified).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/engine.hpp"
+
+namespace rfd::cluster {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_trace_path(const char* tag, int shards) {
+  std::ostringstream ss;
+  ss << ::testing::TempDir() << "/rfd_shard_" << tag << "_" << shards
+     << ".jsonl";
+  return ss.str();
+}
+
+ClusterConfig shard_config(int n) {
+  ClusterConfig config;
+  config.n = n;
+  config.topology.kind = TopologyKind::kGossip;
+  config.topology.digest_size = 16;
+  config.detector.kind = rt::DetectorKind::kChen;
+  config.detector.chen.alpha_ms = 400.0;
+  config.heartbeat_interval_ms = 100.0;
+  config.check_interval_ms = 100.0;
+  config.duration_ms = 12'000.0;
+  return config;
+}
+
+/// Every report field a run produces, serialized for one-shot equality.
+std::string report_fingerprint(const ClusterReport& r) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << r.n << '|' << r.max_nodes << '|' << r.topology << '|' << r.detector
+     << '|' << r.duration_ms << '|' << r.messages_sent << '|'
+     << r.messages_dropped << '|' << r.partition_dropped << '|'
+     << r.digest_entries_sent << '|' << r.digest_payload_bytes << '|'
+     << r.messages_per_node_per_s << '|' << r.entries_per_node_per_s << '|'
+     << r.payload_bytes_per_node_per_s << '|' << r.events_executed << '|'
+     << r.peak_event_queue << '|' << r.detection_latency_ms.count() << '|'
+     << r.detection_latency_ms.mean() << '|' << r.detection_latency_ms.max()
+     << '|' << r.missed_detections << '|' << r.false_suspicions << '|'
+     << r.false_suspicions_per_node_per_min << '|'
+     << r.convergence_ms.count() << '|' << r.convergence_ms.mean() << '|'
+     << r.disruptions << '|' << r.unconverged_disruptions << '|'
+     << r.final_agreement << '|' << r.suspicion_raises << '|'
+     << r.suspicion_clears << '|' << r.trace_records << '|'
+     << r.trace_dropped;
+  return ss.str();
+}
+
+void expect_shard_invariant(ClusterConfig config, std::uint64_t seed,
+                            const char* tag) {
+  std::string baseline_report;
+  std::string baseline_trace;
+  for (const int shards : {1, 2, 4}) {
+    config.shards = shards;
+    const std::string path = temp_trace_path(tag, shards);
+    config.obs.trace_path = path;
+    config.obs.snapshot_every_ticks = 10;
+    const ClusterReport report = run_cluster(config, seed);
+    EXPECT_EQ(report.trace_dropped, 0);
+    const std::string fingerprint = report_fingerprint(report);
+    const std::string trace = read_file(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(trace.empty());
+    if (shards == 1) {
+      baseline_report = fingerprint;
+      baseline_trace = trace;
+      continue;
+    }
+    EXPECT_EQ(fingerprint, baseline_report)
+        << tag << ": report diverged at shards=" << shards;
+    // Byte-identical, not merely equivalent: the merged trace is the
+    // replay/analysis input, so even reordering within a timestamp
+    // would be a regression.
+    EXPECT_EQ(trace, baseline_trace)
+        << tag << ": trace bytes diverged at shards=" << shards;
+  }
+}
+
+TEST(ShardDeterminism, CalmRunIsShardCountInvariant) {
+  for (const std::uint64_t seed : {7ull, 11ull, 20260808ull}) {
+    expect_shard_invariant(shard_config(24), seed, "calm");
+  }
+}
+
+TEST(ShardDeterminism, CrashScenarioIsShardCountInvariant) {
+  for (const std::uint64_t seed : {7ull, 11ull, 20260808ull}) {
+    ClusterConfig config = shard_config(24);
+    config.scenario.crash(4'000.0, 3).crash(4'000.0, 17);
+    expect_shard_invariant(config, seed, "crash");
+  }
+}
+
+TEST(ShardDeterminism, PartitionHealAndChurnIsShardCountInvariant) {
+  // The full scenario surface in one run: a partition (per-shard network
+  // replicas must agree), a crash inside it, a heal (coordinator-side
+  // disruption bookkeeping), plus a join and a silent leave (ids beyond
+  // n, reseeded membership).
+  for (const std::uint64_t seed : {7ull, 11ull, 20260808ull}) {
+    ClusterConfig config = shard_config(16);
+    config.max_nodes = 17;
+    config.duration_ms = 20'000.0;
+    config.scenario
+        .partition(3'000.0, {{0, 1, 2, 3, 4, 5, 6, 7},
+                             {8, 9, 10, 11, 12, 13, 14, 15}})
+        .crash(5'000.0, 3)
+        .heal(8'000.0)
+        .join(10'000.0, 16)
+        .leave(13'000.0, 11);
+    expect_shard_invariant(config, seed, "scenario");
+  }
+}
+
+TEST(ShardDeterminism, ShardCountBeyondNodesClamps) {
+  ClusterConfig config = shard_config(4);
+  config.duration_ms = 3'000.0;
+  config.shards = 64;  // clamped to the node count internally
+  const ClusterReport report = run_cluster(config, 7);
+  EXPECT_GT(report.messages_sent, 0);
+}
+
+}  // namespace
+}  // namespace rfd::cluster

@@ -1,0 +1,102 @@
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "runtime/shard_executor.hpp"
+
+namespace rfd::rt {
+namespace {
+
+TEST(ShardExecutor, RunsEveryShardOncePerInvocation) {
+  ShardExecutor executor(4);
+  ASSERT_EQ(executor.shards(), 4);
+  std::vector<std::atomic<int>> hits(4);
+  for (int round = 1; round <= 3; ++round) {
+    executor.parallel([&](int s) { ++hits[static_cast<std::size_t>(s)]; });
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(s)].load(), round);
+    }
+  }
+}
+
+TEST(ShardExecutor, SingleShardRunsOnCallingThread) {
+  ShardExecutor executor(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  executor.parallel([&](int s) {
+    EXPECT_EQ(s, 0);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ShardExecutor, BarrierSequencesPhasesAcrossShards) {
+  // The engine's correctness hinges on this: values shard A writes in
+  // phase N are visible to shard B in phase N+1 with no synchronization
+  // beyond the parallel() barrier. Each shard writes its slot in phase
+  // one; every shard sums all slots in phase two.
+  constexpr int kShards = 4;
+  constexpr int kRounds = 200;
+  ShardExecutor executor(kShards);
+  std::vector<int> slots(kShards, 0);       // plain ints on purpose
+  std::vector<long long> sums(kShards, 0);  // one writer each
+  for (int round = 1; round <= kRounds; ++round) {
+    executor.parallel(
+        [&](int s) { slots[static_cast<std::size_t>(s)] = round * (s + 1); });
+    executor.parallel([&](int s) {
+      long long sum = 0;
+      for (const int v : slots) sum += v;
+      sums[static_cast<std::size_t>(s)] = sum;
+    });
+    const long long expected =
+        static_cast<long long>(round) * kShards * (kShards + 1) / 2;
+    for (int s = 0; s < kShards; ++s) {
+      ASSERT_EQ(sums[static_cast<std::size_t>(s)], expected)
+          << "round " << round << " shard " << s;
+    }
+  }
+}
+
+TEST(ShardExecutor, LowestShardExceptionPropagates) {
+  ShardExecutor executor(3);
+  try {
+    executor.parallel([](int s) {
+      if (s >= 1) throw std::runtime_error("shard " + std::to_string(s));
+    });
+    FAIL() << "expected the shard exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 1");
+  }
+  // The pool survives a throwing invocation.
+  std::atomic<int> hits{0};
+  executor.parallel([&](int) { ++hits; });
+  EXPECT_EQ(hits.load(), 3);
+}
+
+TEST(ShardExecutor, ThreadLogBuffersCaptureWorkerLines) {
+  // Worker-thread log lines must not race the process-wide sink; the
+  // engine parks them in per-shard buffers and flushes at the barrier.
+  constexpr int kShards = 4;
+  ShardExecutor executor(kShards);
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::vector<BufferedLogLine>> buffers(kShards);
+  executor.parallel([&](int s) {
+    const ScopedThreadLogBuffer scope(&buffers[static_cast<std::size_t>(s)]);
+    RFD_LOG(kInfo) << "hello from shard " << s;
+    RFD_LOG(kDebug) << "suppressed";  // below the level: not buffered
+  });
+  set_log_level(saved);
+  for (int s = 0; s < kShards; ++s) {
+    const auto& lines = buffers[static_cast<std::size_t>(s)];
+    ASSERT_EQ(lines.size(), 1u) << "shard " << s;
+    EXPECT_EQ(lines[0].level, LogLevel::kInfo);
+    EXPECT_NE(lines[0].line.find("hello from shard"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rfd::rt
