@@ -9,7 +9,10 @@
 //   (b) detector kinds on a 64-node gossip fabric across network
 //       regimes - the E9 QoS story at cluster scale;
 //   (c) a scenario gallery (partition/heal, rack crash, churn, delay
-//       storm, crash-recovery) measuring cluster-wide convergence.
+//       storm, crash-recovery) measuring cluster-wide convergence;
+//   (d) the checked-in scenario DSL library (scenarios/*.scn) - one QoS
+//       row per file, so every corpus scenario's headline numbers land
+//       in BENCH_e11_cluster.json and can be tracked run over run.
 //
 // Rows marked by RFD_E11_FULL=1 (all-to-all and ring at n=1024) are
 // skipped by default: the point of the quadratic baseline at that scale
@@ -20,13 +23,16 @@
 // 10 check ticks) - the inputs for the README's jq cookbook.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "cluster/engine.hpp"
+#include "cluster/scenario_dsl.hpp"
 #include "common/table.hpp"
 
 namespace rfd {
@@ -342,6 +348,78 @@ int main(int argc, char** argv) {
         "agreeing on the true crashed set: the engine-level version of\n"
         "the paper's claim that systems engineer around unreliable\n"
         "detectors rather than waiting for a perfect one.\n\n");
+  }
+
+  {
+#ifdef RFD_SCENARIO_DIR
+    const std::string dir = RFD_SCENARIO_DIR;
+#else
+    const std::string dir = "scenarios";
+#endif
+    std::vector<std::filesystem::path> files;
+    if (std::filesystem::is_directory(dir)) {
+      for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".scn") files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    Table table({"file", "scenario", "n", "msgs/node/s", "T_D p50",
+                 "T_D p99", "false/node/min", "converged", "agree"});
+    for (const auto& path : files) {
+      cluster::ScenarioDoc doc;
+      cluster::DslError err;
+      if (!cluster::load_scenario_file(path.string(), cluster::DslContext{},
+                                       doc, err)) {
+        std::fprintf(stderr, "E11d: %s: %s\n", path.string().c_str(),
+                     err.to_string().c_str());
+        continue;
+      }
+      // The file supplies n/max_nodes/duration and the timeline; the
+      // fabric and detector tuning come from the gossip scaling cell so
+      // the rows are comparable with E11a-c.
+      ClusterConfig config =
+          scaling_config(TopologyKind::kGossip, doc.n > 0 ? doc.n : 64);
+      config.max_nodes =
+          std::max({doc.max_nodes, config.n,
+                    static_cast<int>(doc.max_node_ref) + 1});
+      if (doc.duration_ms > 0.0) config.duration_ms = doc.duration_ms;
+      config.scenario = doc.scenario;
+      const ClusterReport r = cluster::run_cluster(config, 0xd11);
+      table.add_row({path.filename().string(), doc.name, Table::num(r.n),
+                     Table::fixed(r.messages_per_node_per_s, 1),
+                     fmt_pct_or_dash(r.detection_latency_ms, 0.5),
+                     fmt_pct_or_dash(r.detection_latency_ms, 0.99),
+                     Table::fixed(r.false_suspicions_per_node_per_min, 2),
+                     Table::num(r.convergence_ms.count()) + "/" +
+                         Table::num(r.disruptions),
+                     Table::yes_no(r.final_agreement)});
+      json.row("scenario_files")
+          .str("file", path.filename().string())
+          .str("scenario", doc.name)
+          .num("n", r.n)
+          .num("duration_ms", r.duration_ms)
+          .num("msgs_per_node_per_s", r.messages_per_node_per_s)
+          .num("detect_p50_ms", r.detection_latency_ms.count() > 0
+                                    ? r.detection_latency_ms.percentile(0.5)
+                                    : std::nan(""))
+          .num("detect_p99_ms", r.detection_latency_ms.count() > 0
+                                    ? r.detection_latency_ms.percentile(0.99)
+                                    : std::nan(""))
+          .num("missed", static_cast<double>(r.missed_detections))
+          .num("false_per_node_per_min", r.false_suspicions_per_node_per_min)
+          .num("convergence_mean_ms", r.convergence_ms.count() > 0
+                                          ? r.convergence_ms.mean()
+                                          : std::nan(""))
+          .num("disruptions", static_cast<double>(r.disruptions))
+          .boolean("final_agreement", r.final_agreement);
+    }
+    table.print("E11d: scenario DSL library (scenarios/*.scn, gossip fabric)");
+    std::printf(
+        "\nReading: the corpus rows pin the library's QoS headline per\n"
+        "file; a scenario whose numbers move between runs of the same\n"
+        "commit is a determinism bug, and one whose numbers move across\n"
+        "commits is a behavior change the golden-trace suite will have\n"
+        "flagged first.\n\n");
   }
 
   json.write();

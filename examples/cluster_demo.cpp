@@ -7,20 +7,26 @@
 // waits for a Perfect detector, mistakes happen on schedule, and the
 // membership still converges on the truth after every disruption.
 //
-//   ./cluster_demo [seed] [--trace <path|->] [--trace-every <ticks>]
-//                  [--profile] [--shards <count>]
+//   ./cluster_demo [seed] [--scenario <file.scn>] [--trace <path|->]
+//                  [--trace-every <ticks>] [--profile] [--shards <count>]
 //
-// --trace streams a JSONL event trace (heartbeats, suspicions, faults,
-// drops; see the README's Observability section) to the given path, "-"
-// for stdout. --trace-every interleaves a metrics snapshot record every
+// --scenario replaces the built-in timeline with a scenario DSL file
+// (see scenarios/ and src/cluster/scenario_dsl.hpp for the grammar);
+// the file's config statement sets n/max_nodes/duration. --trace
+// streams a JSONL event trace (heartbeats, suspicions, faults, drops;
+// see the README's Observability section) to the given path, "-" for
+// stdout. --trace-every interleaves a metrics snapshot record every
 // that many check ticks (default 10 when tracing). --profile adds phase
 // timer rollups to the end of the trace. --shards runs the sharded
 // parallel core; every metric and trace byte is identical for any value
 // (try it), only wall-clock changes.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "cluster/engine.hpp"
+#include "cluster/scenario_dsl.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 
@@ -50,22 +56,48 @@ int main(int argc, char** argv) {
   config.obs.profile = cli.get_bool("profile", false);
   config.shards = static_cast<int>(cli.get_int("shards", 1));
 
-  std::vector<cluster::NodeId> left, right;
-  for (int i = 0; i < 48; ++i) (i < 24 ? left : right).push_back(i);
+  const std::string scenario_path = cli.get("scenario", "");
+  if (!scenario_path.empty()) {
+    cluster::ScenarioDoc doc;
+    cluster::DslError err;
+    if (!cluster::load_scenario_file(scenario_path, cluster::DslContext{},
+                                     doc, err)) {
+      std::fprintf(stderr, "cluster_demo: %s: %s\n", scenario_path.c_str(),
+                   err.to_string().c_str());
+      return 1;
+    }
+    if (doc.n > 0) config.n = doc.n;
+    config.max_nodes =
+        std::max({doc.max_nodes, config.n,
+                  static_cast<int>(doc.max_node_ref) + 1});
+    if (doc.duration_ms > 0.0) config.duration_ms = doc.duration_ms;
+    config.topology.digest_size = config.n;
+    config.scenario = std::move(doc.scenario);
+    std::printf(
+        "cluster_demo: scenario \"%s\" (%s)\n"
+        "%d nodes (%d id slots), %.0fs, %zu fault events, gossip(f=3), "
+        "phi-accrual detectors\n\n",
+        doc.name.empty() ? "unnamed" : doc.name.c_str(),
+        scenario_path.c_str(), config.n, config.max_nodes,
+        config.duration_ms / 1000.0, config.scenario.events.size());
+  } else {
+    std::vector<cluster::NodeId> left, right;
+    for (int i = 0; i < 48; ++i) (i < 24 ? left : right).push_back(i);
 
-  config.scenario
-      .crash(6'000.0, 17)                       //  6s: a node dies
-      .partition(14'000.0, {left, right})       // 14s: rack cut in half
-      .crash(18'000.0, 5)                       // 18s: ...hiding a crash
-      .heal(24'000.0)                           // 24s: cut repaired
-      .delay_storm(32'000.0, 40'000.0, 800.0, 0.6)  // 32s: congestion
-      .join(44'000.0, 48)                       // 44s: capacity added
-      .leave(48'000.0, 30);                     // 48s: silent decommission
+    config.scenario
+        .crash(6'000.0, 17)                       //  6s: a node dies
+        .partition(14'000.0, {left, right})       // 14s: rack cut in half
+        .crash(18'000.0, 5)                       // 18s: ...hiding a crash
+        .heal(24'000.0)                           // 24s: cut repaired
+        .delay_storm(32'000.0, 40'000.0, 800.0, 0.6)  // 32s: congestion
+        .join(44'000.0, 48)                       // 44s: capacity added
+        .leave(48'000.0, 30);                     // 48s: silent decommission
 
-  std::printf(
-      "cluster_demo: 48 nodes, gossip(f=3), phi-accrual detectors,\n"
-      "60s timeline: crash @6s, partition @14s, crash-in-partition @18s,\n"
-      "heal @24s, delay storm 32-40s, join @44s, silent leave @48s\n\n");
+    std::printf(
+        "cluster_demo: 48 nodes, gossip(f=3), phi-accrual detectors,\n"
+        "60s timeline: crash @6s, partition @14s, crash-in-partition @18s,\n"
+        "heal @24s, delay storm 32-40s, join @44s, silent leave @48s\n\n");
+  }
 
   const cluster::ClusterReport r = cluster::run_cluster(config, seed);
 
@@ -91,7 +123,10 @@ int main(int argc, char** argv) {
   table.add_row({"final agreement", Table::yes_no(r.final_agreement)});
   table.print("cluster QoS over the full timeline");
 
-  std::printf(
+  if (!scenario_path.empty()) {
+    std::printf("\n%s\n", r.summary().c_str());
+  } else {
+    std::printf(
       "\n%s\n\n"
       "The partition made both halves falsely suspect each other - the\n"
       "detectors are only <>P-grade and that is the paper's point - yet\n"
@@ -102,6 +137,7 @@ int main(int argc, char** argv) {
       "no setting that makes the detector Perfect, only settings that\n"
       "move the mistakes around.\n",
       r.summary().c_str());
+  }
   if (!config.obs.trace_path.empty() && config.obs.trace_path != "-") {
     std::fprintf(stderr, "trace: %lld records -> %s (%lld dropped)\n",
                  static_cast<long long>(r.trace_records),

@@ -231,6 +231,13 @@ class ClusterEngine {
         faults_(config.scenario.sorted()) {
     RFD_REQUIRE(config_.n >= 2);
     RFD_REQUIRE(max_nodes_ >= config_.n);
+    {
+      // Reject malformed timelines before any state exists: an unmatched
+      // storm_off or link_up would silently corrupt the per-shard network
+      // replicas mid-run (the builders sort, this rejects).
+      const std::string scenario_error = config_.scenario.validate();
+      RFD_REQUIRE_MSG(scenario_error.empty(), scenario_error.c_str());
+    }
     RFD_REQUIRE(config_.heartbeat_interval_ms > 0.0);
     RFD_REQUIRE(config_.check_interval_ms > 0.0);
     RFD_REQUIRE(config_.shards >= 1);
@@ -890,6 +897,24 @@ class ClusterEngine {
         note_fault(shard, index, now);
         shard.network->clear_storm();
         break;
+      case FaultKind::kLinkDown:
+        note_fault(shard, index, now);
+        shard.network->add_link_block(event.groups[0], event.groups[1]);
+        break;
+      case FaultKind::kLinkUp:
+        note_fault(shard, index, now);
+        shard.network->remove_link_block(event.groups[0], event.groups[1]);
+        break;
+      case FaultKind::kSlowStart:
+        RFD_REQUIRE(event.node >= 0 && event.node < max_nodes_);
+        note_fault(shard, index, now);
+        shard.network->set_delay_factor(event.node, event.factor);
+        break;
+      case FaultKind::kSlowEnd:
+        RFD_REQUIRE(event.node >= 0 && event.node < max_nodes_);
+        note_fault(shard, index, now);
+        shard.network->set_delay_factor(event.node, 1.0);
+        break;
     }
   }
 
@@ -914,9 +939,13 @@ class ClusterEngine {
         case FaultKind::kJoin:
         case FaultKind::kPartition:
         case FaultKind::kStormStart:
+        case FaultKind::kLinkDown:
+        case FaultKind::kSlowStart:
           break;
         case FaultKind::kHeal:
         case FaultKind::kStormEnd:
+        case FaultKind::kLinkUp:
+        case FaultKind::kSlowEnd:
           // Re-convergence is only measurable if the episode actually
           // drove the cluster into disagreement.
           if (!last_agreement_) bump_truth(note.at);

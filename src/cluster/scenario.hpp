@@ -2,9 +2,12 @@
 //
 // A Scenario is a time-ordered list of fault events replayed against the
 // running cluster: crashes, crash-recoveries, network partitions and
-// heals, churn (joins and silent leaves), and delay storms. Scenarios are
-// plain data - the engine interprets them - so experiments are scriptable
-// and bit-for-bit reproducible under a fixed seed.
+// heals, churn (joins and silent leaves), delay storms, directed link
+// blocks (asymmetric partitions, flapping links), and slow-but-alive
+// nodes. Scenarios are plain data - the engine interprets them - so
+// experiments are scriptable and bit-for-bit reproducible under a fixed
+// seed. They can also be loaded from text files via the scenario DSL
+// (see cluster/scenario_dsl.hpp and the scenarios/ library).
 //
 // Builders return *this so scripts read like a timeline:
 //
@@ -13,9 +16,17 @@
 //    .crash(8'000, 2)
 //    .heal(12'000)
 //    .delay_storm(20'000, 25'000, 300.0, 0.5);
+//
+// Events may be appended in any order: the engine consumes the timeline
+// through sorted(), which stable-sorts by time (same-time events keep
+// script order). Cross-event discipline - storm and link pairing, group
+// overlap - is checked by validate(), which the engine requires to pass
+// before a run starts, so a malformed timeline fails loudly instead of
+// silently corrupting network state.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,15 +46,30 @@ enum class FaultKind {
   kLeave,        // node departs silently (indistinguishable from a crash)
   kStormStart,   // extra per-message delay with some probability
   kStormEnd,
+  kLinkDown,     // directed block: groups[0] -> groups[1] messages drop
+  kLinkUp,       // remove the matching directed block
+  kSlowStart,    // slow-but-alive: outbound delay multiplier on `node`
+  kSlowEnd,      // restore the node's outbound delay to normal
 };
 
 struct FaultEvent {
   double at_ms = 0.0;
   FaultKind kind = FaultKind::kCrash;
-  NodeId node = -1;                          // crash/recover/join/leave
-  std::vector<std::vector<NodeId>> groups;   // partition
+  NodeId node = -1;                          // crash/recover/join/leave/slow
+  std::vector<std::vector<NodeId>> groups;   // partition; link: {from, to}
   double extra_delay_ms = 0.0;               // storm
   double delay_prob = 1.0;                   // storm
+  double factor = 1.0;                       // slow delay multiplier
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// A cross-event discipline violation found by Scenario::check(), with
+/// the offending event's index into `events` so loaders (the DSL parser)
+/// can attribute it to a source line.
+struct ScenarioIssue {
+  std::size_t event_index = 0;
+  std::string message;
 };
 
 struct Scenario {
@@ -57,9 +83,48 @@ struct Scenario {
   Scenario& leave(double at_ms, NodeId node);
   Scenario& delay_storm(double from_ms, double to_ms, double extra_delay_ms,
                         double delay_prob);
+  /// Raw storm primitives: storm_on sets (or re-sets, for ramps) the
+  /// storm parameters, storm_off clears them. delay_storm is the paired
+  /// convenience over these.
+  Scenario& storm_on(double at_ms, double extra_delay_ms, double delay_prob);
+  Scenario& storm_off(double at_ms);
+  /// Directed link block from every node in `from` to every node in `to`
+  /// (a one-way/asymmetric partition when used alone; install both
+  /// directions for a symmetric cut that composes with other blocks).
+  Scenario& link_down(double at_ms, std::vector<NodeId> from,
+                      std::vector<NodeId> to);
+  Scenario& link_up(double at_ms, std::vector<NodeId> from,
+                    std::vector<NodeId> to);
+  /// Slow-but-alive: multiply `node`'s outbound delays by `factor` (> 1
+  /// models an overloaded-but-responsive process) until slow_end.
+  Scenario& slow(double at_ms, NodeId node, double factor);
+  Scenario& slow_end(double at_ms, NodeId node);
+
+  /// Flapping link between sets `a` and `b`: over [from_ms, to_ms), each
+  /// `period_ms` window is up for `duty` of the period then down (both
+  /// directions) for the rest. Expands to link_down/link_up pairs.
+  Scenario& flapping_link(double from_ms, double to_ms, double period_ms,
+                          double duty, std::vector<NodeId> a,
+                          std::vector<NodeId> b);
+
+  /// Cascading overload: `steps` storm escalations over [from_ms, to_ms),
+  /// ramping the extra delay linearly up to `peak_extra_ms` (each step
+  /// re-sets the storm), then clearing at to_ms.
+  Scenario& overload_ramp(double from_ms, double to_ms, int steps,
+                          double peak_extra_ms, double prob);
 
   /// Events sorted by time (stable, so same-time events keep script order).
   std::vector<FaultEvent> sorted() const;
+
+  /// Checks cross-event discipline over the sorted timeline: storm_off
+  /// and link_up/slow_end must match an open storm/block/slowdown, and
+  /// partition groups must be disjoint. Returns the first violation, or
+  /// nullopt for a well-formed timeline.
+  std::optional<ScenarioIssue> check() const;
+
+  /// Human-readable check(): empty string when well-formed. The engine
+  /// requires this to be empty before running.
+  std::string validate() const;
 };
 
 std::string fault_kind_name(FaultKind kind);

@@ -324,15 +324,24 @@ void TraceWriter::format_cold(const Record& r, std::string& out) {
       append_int(out, r.b);
       field_str(out, "why", r.s);
       break;
-    case RecordType::kFault:
+    case RecordType::kFault: {
       out += "{\"type\":\"fault\",\"t\":";
       append_ms(out, r.t);
       field_str(out, "kind", r.s);
+      // Link faults carry two endpoints and a blocked-pair count; slow
+      // faults carry a delay *factor*, not an extra delay. The kind name
+      // is static (scenario.cpp), so dispatching on it is reliable.
+      const bool link =
+          r.s != nullptr && std::strncmp(r.s, "link", 4) == 0;
+      const bool slow =
+          r.s != nullptr && std::strncmp(r.s, "slow", 4) == 0;
       if (r.a >= 0) field_int(out, "node", r.a);
-      if (r.c > 0) field_int(out, "groups", r.c);
-      if (r.x > 0.0) field_num(out, "extra_ms", r.x);
-      if (r.y > 0.0) field_num(out, "prob", r.y);
+      if (link && r.b >= 0) field_int(out, "peer", r.b);
+      if (r.c > 0) field_int(out, link ? "pairs" : "groups", r.c);
+      if (r.x > 0.0) field_num(out, slow ? "factor" : "extra_ms", r.x);
+      if (!slow && r.y > 0.0) field_num(out, "prob", r.y);
       break;
+    }
     case RecordType::kArrival:
       out += "{\"type\":\"arrival\",\"t\":";
       append_ms(out, r.t);

@@ -73,6 +73,83 @@ bool Network::partitioned(NodeId a, NodeId b) const {
   return component_of(a) != component_of(b);
 }
 
+namespace {
+
+std::vector<NodeId> sorted_unique(const std::vector<NodeId>& ids) {
+  std::vector<NodeId> out = ids;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<char> mask_of(const std::vector<NodeId>& ids) {
+  std::vector<char> mask;
+  for (const NodeId id : ids) {
+    if (static_cast<std::size_t>(id) >= mask.size()) {
+      mask.resize(static_cast<std::size_t>(id) + 1, 0);
+    }
+    mask[static_cast<std::size_t>(id)] = 1;
+  }
+  return mask;
+}
+
+bool in_mask(const std::vector<char>& mask, NodeId node) {
+  return node >= 0 && static_cast<std::size_t>(node) < mask.size() &&
+         mask[static_cast<std::size_t>(node)] != 0;
+}
+
+}  // namespace
+
+void Network::add_link_block(const std::vector<NodeId>& from,
+                             const std::vector<NodeId>& to) {
+  RFD_REQUIRE(!from.empty() && !to.empty());
+  for (const NodeId node : from) RFD_REQUIRE(node >= 0);
+  for (const NodeId node : to) RFD_REQUIRE(node >= 0);
+  LinkRule rule;
+  rule.from_ids = sorted_unique(from);
+  rule.to_ids = sorted_unique(to);
+  rule.from_mask = mask_of(rule.from_ids);
+  rule.to_mask = mask_of(rule.to_ids);
+  link_rules_.push_back(std::move(rule));
+}
+
+bool Network::remove_link_block(const std::vector<NodeId>& from,
+                                const std::vector<NodeId>& to) {
+  const std::vector<NodeId> from_ids = sorted_unique(from);
+  const std::vector<NodeId> to_ids = sorted_unique(to);
+  for (auto it = link_rules_.begin(); it != link_rules_.end(); ++it) {
+    if (it->from_ids == from_ids && it->to_ids == to_ids) {
+      link_rules_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Network::link_blocked(NodeId a, NodeId b) const {
+  for (const LinkRule& rule : link_rules_) {
+    if (in_mask(rule.from_mask, a) && in_mask(rule.to_mask, b)) return true;
+  }
+  return false;
+}
+
+void Network::set_delay_factor(NodeId node, double factor) {
+  RFD_REQUIRE(node >= 0);
+  RFD_REQUIRE(factor > 0.0);
+  if (static_cast<std::size_t>(node) >= delay_factor_.size()) {
+    if (factor == 1.0) return;
+    delay_factor_.resize(static_cast<std::size_t>(node) + 1, 1.0);
+  }
+  delay_factor_[static_cast<std::size_t>(node)] = factor;
+}
+
+double Network::delay_factor(NodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= delay_factor_.size()) {
+    return 1.0;
+  }
+  return delay_factor_[static_cast<std::size_t>(node)];
+}
+
 void Network::set_storm(double extra_ms, double prob) {
   RFD_REQUIRE(extra_ms >= 0.0);
   storm_extra_ms_ = extra_ms;
@@ -103,13 +180,23 @@ std::optional<double> Network::route(NodeId from, NodeId to) {
     if (trace_ != nullptr) trace_drop(from, to, "partition");
     return std::nullopt;
   }
+  // Directed blocks are checked before any RNG draw, so installing or
+  // removing one never shifts a sender's random stream.
+  if (!link_rules_.empty() && link_blocked(from, to)) {
+    ++dropped_;
+    ++link_dropped_;
+    if (trace_ != nullptr) trace_drop(from, to, "link");
+    return std::nullopt;
+  }
   Rng& rng = src_rng(from);
   if (rng.chance(params_.loss_prob)) {
     ++dropped_;
     if (trace_ != nullptr) trace_drop(from, to, "loss");
     return std::nullopt;
   }
-  return sample_delay(rng);
+  const double delay = sample_delay(rng);
+  const double factor = delay_factor(from);
+  return factor == 1.0 ? delay : delay * factor;
 }
 
 void Network::send(NodeId from, NodeId to, EventQueue::Action deliver) {

@@ -72,6 +72,30 @@ class Network {
   /// Whether a message from `a` to `b` currently crosses a partition cut.
   bool partitioned(NodeId a, NodeId b) const;
 
+  /// Installs a *directed* block: messages from any node in `from` to any
+  /// node in `to` are dropped until the matching remove. Rules stack (and
+  /// compose with the component partition), which is what asymmetric
+  /// partitions and flapping links are made of: a one-way cut is a single
+  /// rule, a symmetric flap is a rule pair toggled on a schedule.
+  void add_link_block(const std::vector<NodeId>& from,
+                      const std::vector<NodeId>& to);
+
+  /// Removes the first installed rule with exactly these endpoint sets;
+  /// returns false when no such rule is installed.
+  bool remove_link_block(const std::vector<NodeId>& from,
+                         const std::vector<NodeId>& to);
+
+  /// Whether a message from `a` to `b` currently hits a directed block.
+  bool link_blocked(NodeId a, NodeId b) const;
+
+  /// Slow-but-alive ("performance failure"): every delay drawn for a
+  /// message *sent by* `node` is multiplied by `factor` (1.0 = normal).
+  /// The factor scales the sampled delay after all RNG draws, so toggling
+  /// slowness never perturbs any random stream - runs with and without a
+  /// slow node stay draw-for-draw aligned.
+  void set_delay_factor(NodeId node, double factor);
+  double delay_factor(NodeId node) const;
+
   /// Starts a delay storm: until cleared, each message independently
   /// suffers `extra_ms` additional delay with probability `prob`. Models
   /// transient congestion episodes (the pre-GST penalty is the permanent
@@ -83,6 +107,8 @@ class Network {
   std::int64_t dropped() const { return dropped_; }
   /// Drops attributable to the installed partition (subset of dropped()).
   std::int64_t partition_dropped() const { return partition_dropped_; }
+  /// Drops attributable to directed link blocks (subset of dropped()).
+  std::int64_t link_dropped() const { return link_dropped_; }
 
   /// Attaches the trace sink: when non-null, every drop verdict emits a
   /// "drop" record naming the reason (partition vs loss). Null (the
@@ -112,8 +138,21 @@ class Network {
   /// Empty: no partition. Otherwise component id per node; nodes beyond
   /// the vector (or unlisted, marked -1) belong to component 0.
   std::vector<int> component_;
+  /// Directed block rule: membership masks over node ids (nodes beyond a
+  /// mask are not members). Kept as the installed endpoint sets too so
+  /// remove_link_block can match rules structurally.
+  struct LinkRule {
+    std::vector<NodeId> from_ids;  // sorted, deduplicated
+    std::vector<NodeId> to_ids;
+    std::vector<char> from_mask;
+    std::vector<char> to_mask;
+  };
+  std::vector<LinkRule> link_rules_;
+  /// Empty = every node at 1.0; nodes beyond the vector are at 1.0.
+  std::vector<double> delay_factor_;
   double storm_extra_ms_ = 0.0;
   double storm_prob_ = 0.0;
+  std::int64_t link_dropped_ = 0;
 };
 
 }  // namespace rfd::rt

@@ -1,0 +1,295 @@
+// Scenario DSL: parse/serialize round-trips, compound expansion, and
+// the error paths - every diagnostic must carry the exact line/column
+// of the offending token, including cross-statement discipline failures
+// (unmatched link_up/storm_off/slow_end) attributed through
+// Scenario::check()'s event index. Also the timeline-ordering
+// regression: builders may append events in any time order, the engine
+// consumes the stable-sorted timeline, and a genuinely malformed
+// timeline is rejected before the run starts instead of silently
+// corrupting network state.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/engine.hpp"
+#include "cluster/scenario_dsl.hpp"
+#include "scenario_test_util.hpp"
+
+namespace rfd::cluster {
+namespace {
+
+ScenarioDoc parse_ok(const std::string& text, DslContext ctx = {}) {
+  ScenarioDoc doc;
+  DslError err;
+  EXPECT_TRUE(parse_scenario(text, ctx, doc, err)) << err.to_string();
+  return doc;
+}
+
+DslError parse_fail(const std::string& text, DslContext ctx = {}) {
+  ScenarioDoc doc;
+  DslError err;
+  EXPECT_FALSE(parse_scenario(text, ctx, doc, err)) << "expected failure";
+  return err;
+}
+
+TEST(ScenarioDsl, ParsesHeadersAndEveryPrimitive) {
+  const ScenarioDoc doc = parse_ok(
+      "# comment line\n"
+      "name \"every primitive\"\n"
+      "config n=16 max_nodes=20 duration=30000 cluster=4\n"
+      "\n"
+      "join      at=1000 node=16\n"
+      "leave     at=2000 node=3\n"
+      "crash     at=3000 node=0-1,7\n"
+      "recover   at=4000 node=0-1,7\n"
+      "partition at=5000 groups=0-7|8-15\n"
+      "heal      at=6000\n"
+      "link_down at=7000 from=0-3 to=4-7\n"
+      "link_up   at=8000 from=0-3 to=4-7\n"
+      "slow      at=9000 node=5 factor=4.5\n"
+      "slow_end  at=9500 node=5\n"
+      "storm_on  at=10000 extra=500 prob=0.5\n"
+      "storm_off at=11000\n");
+  EXPECT_EQ(doc.name, "every primitive");
+  EXPECT_EQ(doc.n, 16);
+  EXPECT_EQ(doc.max_nodes, 20);
+  EXPECT_EQ(doc.cluster_size, 4);
+  EXPECT_DOUBLE_EQ(doc.duration_ms, 30'000.0);
+  EXPECT_EQ(doc.max_node_ref, 16);
+  // crash/recover over the 3-id set expand to 3 events each.
+  EXPECT_EQ(doc.scenario.events.size(), 2u + 3u + 3u + 2u + 2u + 2u + 2u);
+  EXPECT_TRUE(doc.scenario.validate().empty());
+  const FaultEvent& slow = doc.scenario.events[12];
+  EXPECT_EQ(slow.kind, FaultKind::kSlowStart);
+  EXPECT_EQ(slow.node, 5);
+  EXPECT_DOUBLE_EQ(slow.factor, 4.5);
+}
+
+TEST(ScenarioDsl, CompoundsExpandToPrimitives) {
+  // flap: 3 full periods, each up-then-down = 4 directed events per
+  // down window, plus the final link_up pair at the window end.
+  const ScenarioDoc flap = parse_ok(
+      "flap from=0 to=3000 period=1000 duty=0.5 a=0 b=1\n");
+  int downs = 0, ups = 0;
+  for (const FaultEvent& e : flap.scenario.events) {
+    downs += e.kind == FaultKind::kLinkDown;
+    ups += e.kind == FaultKind::kLinkUp;
+  }
+  EXPECT_EQ(downs, ups) << "every block must be lifted";
+  EXPECT_EQ(downs, 6);  // 3 windows x 2 directions
+  EXPECT_TRUE(flap.scenario.validate().empty());
+
+  const ScenarioDoc ramp = parse_ok(
+      "overload from=0 to=5000 steps=4 extra=2000 prob=0.8\n");
+  ASSERT_EQ(ramp.scenario.events.size(), 5u);  // 4 escalations + off
+  EXPECT_EQ(ramp.scenario.events[0].kind, FaultKind::kStormStart);
+  EXPECT_DOUBLE_EQ(ramp.scenario.events[0].extra_delay_ms, 500.0);
+  EXPECT_DOUBLE_EQ(ramp.scenario.events[3].extra_delay_ms, 2000.0);
+  EXPECT_EQ(ramp.scenario.events[4].kind, FaultKind::kStormEnd);
+
+  // rack with explicit size; all crashes land on the same instant.
+  const ScenarioDoc rack = parse_ok("rack at=4000 group=1 size=4\n");
+  ASSERT_EQ(rack.scenario.events.size(), 4u);
+  for (const FaultEvent& e : rack.scenario.events) {
+    EXPECT_EQ(e.kind, FaultKind::kCrash);
+    EXPECT_DOUBLE_EQ(e.at_ms, 4'000.0);
+  }
+  EXPECT_EQ(rack.scenario.events[0].node, 4);
+  EXPECT_EQ(rack.scenario.events[3].node, 7);
+
+  // rack without size falls back to the config cluster, then context.
+  const ScenarioDoc rack2 =
+      parse_ok("config n=9 max_nodes=9 cluster=3\nrack at=1000 group=2\n");
+  ASSERT_EQ(rack2.scenario.events.size(), 3u);
+  EXPECT_EQ(rack2.scenario.events[0].node, 6);
+
+  const ScenarioDoc churn =
+      parse_ok("churn from=0 to=4000 join=8-9 leave=0-1\n");
+  ASSERT_EQ(churn.scenario.events.size(), 4u);
+  EXPECT_EQ(churn.scenario.events[0].kind, FaultKind::kJoin);
+  EXPECT_EQ(churn.scenario.events[2].kind, FaultKind::kLeave);
+  // Leaves sit on the half-step offset so the streams interleave.
+  EXPECT_DOUBLE_EQ(churn.scenario.events[2].at_ms, 1'000.0);
+}
+
+TEST(ScenarioDsl, RoundTripIsAFixedPoint) {
+  const std::string source =
+      "name \"round trip\"\n"
+      "config n=16 max_nodes=20 duration=30000\n"
+      "crash at=3000 node=7,2,2\n"
+      "partition at=5000 groups=0-7|8-15\n"
+      "heal at=6000\n"
+      "flap from=8000 to=11000 period=1000 duty=0.25 a=0-2 b=8-10\n"
+      "slow at=12000 node=5 factor=3.25\n"
+      "slow_end at=13000 node=5\n"
+      "overload from=14000 to=20000 steps=3 extra=1500 prob=0.9\n"
+      "churn from=21000 to=25000 join=16-17 leave=4\n";
+  const ScenarioDoc first = parse_ok(source);
+  const std::string text = serialize_scenario(first);
+  const ScenarioDoc second = parse_ok(text);
+  EXPECT_EQ(first.name, second.name);
+  EXPECT_EQ(first.n, second.n);
+  EXPECT_EQ(first.max_nodes, second.max_nodes);
+  EXPECT_DOUBLE_EQ(first.duration_ms, second.duration_ms);
+  EXPECT_EQ(first.scenario.events, second.scenario.events);
+  EXPECT_EQ(serialize_scenario(second), text) << "not a fixed point";
+}
+
+TEST(ScenarioDsl, EveryLibraryScenarioRoundTrips) {
+  for (const char* file :
+       {"asymmetric_partition.scn", "cascading_overload.scn",
+        "churn_storm.scn", "crash_recovery_wave.scn", "flapping_links.scn",
+        "gray_failure.scn", "partition_cascade.scn", "rack_failure.scn",
+        "slow_nodes.scn"}) {
+    const ScenarioDoc doc = testutil::load_doc(file);
+    EXPECT_FALSE(doc.scenario.events.empty()) << file;
+    EXPECT_TRUE(doc.scenario.validate().empty()) << file;
+    const ScenarioDoc again = parse_ok(serialize_scenario(doc));
+    EXPECT_EQ(doc.scenario.events, again.scenario.events) << file;
+  }
+}
+
+TEST(ScenarioDsl, DiagnosticsCarryExactLineAndColumn) {
+  struct Case {
+    const char* text;
+    int line;
+    int col;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"crash at=1000 node=0\nboom at=2000\n", 2, 1, "unknown statement"},
+      {"crash at=1000 mode=3\n", 1, 15, "unknown key 'mode'"},
+      {"crash node=1\n", 1, 1, "needs at="},
+      {"crash at=abc node=1\n", 1, 10, "not a number"},
+      {"crash at=-5 node=1\n", 1, 10, "at must be >= 0"},
+      {"crash at=1000 node=1x\n", 1, 20, "not a node id"},
+      {"crash at=1000 node=9-4\n", 1, 20, "descending range"},
+      {"partition at=1000 groups=0-3\n", 1, 26, ">= 2 |-separated"},
+      {"partition at=1000 groups=0-3|3-6\n", 1, 26, "groups overlap"},
+      {"slow at=1000 node=1 factor=0\n", 1, 28, "factor must be > 0"},
+      {"storm_on at=1000 extra=500 prob=1.5\n", 1, 33, "in [0, 1]"},
+      {"flap from=0 to=5000 period=0 duty=0.5 a=0 b=1\n", 1, 28,
+       "period must be > 0"},
+      {"delay_storm from=2000 to=1000 extra=5\n", 1, 26,
+       "greater than from"},
+      {"crash at=1000 node=0\nconfig n=8\n", 2, 1, "must precede"},
+      {"name unquoted\n", 1, 6, "expected key=value"},
+      {"name \"open\n", 1, 6, "unterminated string"},
+      {"churn from=0 to=1000\n", 1, 1, "join= and/or leave="},
+      {"rack at=1000 group=1\n", 1, 1, "needs size="},
+  };
+  for (const Case& c : cases) {
+    const DslError err = parse_fail(c.text);
+    EXPECT_EQ(err.line, c.line) << c.text << err.to_string();
+    EXPECT_EQ(err.col, c.col) << c.text << err.to_string();
+    EXPECT_NE(err.message.find(c.needle), std::string::npos)
+        << c.text << err.to_string();
+  }
+}
+
+TEST(ScenarioDsl, NodeBoundsCheckedAgainstConfigOrContext) {
+  DslError err = parse_fail("config n=8 max_nodes=8\ncrash at=1000 node=8\n");
+  EXPECT_EQ(err.line, 2);
+  EXPECT_NE(err.message.find("out of range"), std::string::npos);
+
+  DslContext ctx;
+  ctx.max_nodes = 4;
+  err = parse_fail("link_down at=1000 from=0 to=5\n", ctx);
+  EXPECT_NE(err.message.find("out of range"), std::string::npos);
+
+  // Unbounded context: references are recorded, not rejected.
+  const ScenarioDoc doc = parse_ok("crash at=1000 node=100\n");
+  EXPECT_EQ(doc.max_node_ref, 100);
+}
+
+TEST(ScenarioDsl, CrossStatementDisciplineAttributedToOffendingLine) {
+  // link_up with no matching installed block: check() flags the event,
+  // the parser maps it back to line 2.
+  DslError err = parse_fail(
+      "link_down at=1000 from=0-3 to=4-7\n"
+      "link_up   at=2000 from=0-2 to=4-7\n");
+  EXPECT_EQ(err.line, 2);
+  EXPECT_NE(err.message.find("link_up"), std::string::npos);
+
+  err = parse_fail("storm_off at=5000\n");
+  EXPECT_EQ(err.line, 1);
+
+  err = parse_fail("slow at=1000 node=3 factor=2\nslow_end at=2000 node=4\n");
+  EXPECT_EQ(err.line, 2);
+}
+
+TEST(ScenarioDsl, MissingFileReportsPathWithoutLine) {
+  ScenarioDoc doc;
+  DslError err;
+  EXPECT_FALSE(load_scenario_file("/nonexistent/nope.scn", DslContext{},
+                                  doc, err));
+  EXPECT_EQ(err.line, 0);
+  EXPECT_NE(err.message.find("nope.scn"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// The timeline-ordering regression (builders used to be silently
+// order-sensitive): appending events out of time order must produce the
+// same run as the sorted script, and malformed timelines must be
+// rejected by the engine up front.
+
+ClusterConfig tiny_config() {
+  ClusterConfig config;
+  config.n = 8;
+  config.topology.kind = TopologyKind::kGossip;
+  config.topology.digest_size = 8;
+  config.detector.kind = rt::DetectorKind::kChen;
+  config.detector.chen.alpha_ms = 400.0;
+  config.duration_ms = 6'000.0;
+  return config;
+}
+
+TEST(ScenarioOrdering, OutOfOrderAppendsRunIdenticallyToSortedScript) {
+  ClusterConfig in_order = tiny_config();
+  in_order.scenario.crash(1'000.0, 1)
+      .delay_storm(2'000.0, 3'000.0, 300.0, 0.5)
+      .crash(4'000.0, 2);
+
+  // Same events, appended backwards.
+  ClusterConfig reversed = tiny_config();
+  reversed.scenario.crash(4'000.0, 2)
+      .storm_off(3'000.0)
+      .storm_on(2'000.0, 300.0, 0.5)
+      .crash(1'000.0, 1);
+
+  EXPECT_TRUE(reversed.scenario.validate().empty());
+  EXPECT_EQ(in_order.scenario.sorted(), reversed.scenario.sorted());
+  const ClusterReport a = run_cluster(in_order, 7);
+  const ClusterReport b = run_cluster(reversed, 7);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.false_suspicions, b.false_suspicions);
+  EXPECT_EQ(a.detection_latency_ms.count(), b.detection_latency_ms.count());
+  EXPECT_DOUBLE_EQ(a.detection_latency_ms.mean(),
+                   b.detection_latency_ms.mean());
+}
+
+TEST(ScenarioOrderingDeathTest, EngineRejectsMalformedTimelineUpFront) {
+  // storm_off before any storm_on is malformed no matter how the events
+  // were appended; the engine must refuse to run it.
+  ClusterConfig config = tiny_config();
+  config.scenario.storm_off(2'000.0);
+  EXPECT_NE(config.scenario.validate().find("storm"), std::string::npos);
+  EXPECT_DEATH(run_cluster(config, 7), "storm");
+
+  ClusterConfig overlap = tiny_config();
+  overlap.scenario.partition(1'000.0, {{0, 1, 2}, {2, 3, 4}});
+  EXPECT_DEATH(run_cluster(overlap, 7), "partition");
+}
+
+TEST(ScenarioOrdering, CheckReportsOffendingEventIndex) {
+  Scenario s;
+  s.link_down(1'000.0, {0}, {1});
+  s.link_up(2'000.0, {0}, {2});  // no matching block
+  const std::optional<ScenarioIssue> issue = s.check();
+  ASSERT_TRUE(issue.has_value());
+  EXPECT_EQ(issue->event_index, 1u);
+}
+
+}  // namespace
+}  // namespace rfd::cluster

@@ -1,0 +1,79 @@
+// Shared helpers for the scenario-file-driven tests: locating the
+// checked-in scenarios/ library (via the RFD_SCENARIO_DIR compile
+// definition), loading a file into the fixed reference cluster
+// configuration the golden digests are pinned against, and the FNV-1a
+// digest used to fingerprint trace bytes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/engine.hpp"
+#include "cluster/scenario_dsl.hpp"
+
+namespace rfd::cluster::testutil {
+
+inline std::string scenario_dir() {
+#ifdef RFD_SCENARIO_DIR
+  return RFD_SCENARIO_DIR;
+#else
+  return "scenarios";
+#endif
+}
+
+inline ScenarioDoc load_doc(const std::string& file) {
+  ScenarioDoc doc;
+  DslError err;
+  const std::string path = scenario_dir() + "/" + file;
+  if (!load_scenario_file(path, DslContext{}, doc, err)) {
+    ADD_FAILURE() << path << ": " << err.to_string();
+  }
+  return doc;
+}
+
+/// The reference configuration golden digests are pinned against: the
+/// scenario file supplies n/max_nodes/duration, everything else is
+/// fixed. Changing any of these invalidates scenarios/GOLDEN.txt.
+inline ClusterConfig scenario_cluster_config(const ScenarioDoc& doc) {
+  ClusterConfig config;
+  config.n = doc.n > 0 ? doc.n : 32;
+  config.max_nodes = std::max({doc.max_nodes, config.n,
+                               static_cast<int>(doc.max_node_ref) + 1});
+  config.topology.kind = TopologyKind::kGossip;
+  config.topology.digest_size = 16;
+  config.detector.kind = rt::DetectorKind::kChen;
+  config.detector.chen.alpha_ms = 400.0;
+  config.heartbeat_interval_ms = 100.0;
+  config.check_interval_ms = 100.0;
+  config.duration_ms = doc.duration_ms > 0.0 ? doc.duration_ms : 12'000.0;
+  config.scenario = doc.scenario;
+  return config;
+}
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// FNV-1a 64-bit, printed as fixed-width hex.
+inline std::string fnv1a_hex(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace rfd::cluster::testutil

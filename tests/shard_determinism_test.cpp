@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/engine.hpp"
+#include "scenario_test_util.hpp"
 
 namespace rfd::cluster {
 namespace {
@@ -128,6 +129,33 @@ TEST(ShardDeterminism, PartitionHealAndChurnIsShardCountInvariant) {
         .leave(13'000.0, 11);
     expect_shard_invariant(config, seed, "scenario");
   }
+}
+
+// The new fault primitives with shard-local state - directed link
+// blocks, per-node delay factors - must behave identically no matter
+// which shard's network replica applies them. Each scenario file from
+// the checked-in library runs at shards 1/2/4 expecting byte-identical
+// traces, under the same reference configuration the golden digests pin.
+void expect_scenario_file_shard_invariant(const char* file,
+                                          const char* tag) {
+  const ScenarioDoc doc = testutil::load_doc(file);
+  ASSERT_FALSE(doc.scenario.events.empty()) << file;
+  const ClusterConfig config = testutil::scenario_cluster_config(doc);
+  for (const std::uint64_t seed : {7ull, 20020623ull}) {
+    expect_shard_invariant(config, seed, tag);
+  }
+}
+
+TEST(ShardDeterminism, FlappingLinksScenarioIsShardCountInvariant) {
+  expect_scenario_file_shard_invariant("flapping_links.scn", "flap");
+}
+
+TEST(ShardDeterminism, SlowNodesScenarioIsShardCountInvariant) {
+  expect_scenario_file_shard_invariant("slow_nodes.scn", "slow");
+}
+
+TEST(ShardDeterminism, AsymmetricPartitionScenarioIsShardCountInvariant) {
+  expect_scenario_file_shard_invariant("asymmetric_partition.scn", "oneway");
 }
 
 TEST(ShardDeterminism, ShardCountBeyondNodesClamps) {
