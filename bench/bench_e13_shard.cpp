@@ -10,9 +10,18 @@
 // bench asserts the invariance on its own results, so a determinism
 // regression fails the bench before it can mislead the scaling numbers.
 //
-// RFD_E13_SMOKE=1 restricts to n=4096, shards in {1, 2} for CI, which
-// gates shards=2 at >= 1.15x the sharded shards=1 run (4-vCPU runners).
-// Rows land in BENCH_e13_shard.json.
+// E13b isolates the synchronization cost itself: n=4096 at shards=4,
+// crossing barrier_spin in {0 (park immediately: the condvar-style cost
+// floor), -1 (hardware-aware spin)} with lookahead_windows in {1, 8}.
+// Each cell reports events/sec plus the always-sampled kSync rollup
+// (barrier meets and per-shard wait time), and is asserted
+// result-identical to the first cell - the knobs are scheduling only.
+//
+// RFD_E13_SMOKE=1 restricts to n=4096, shards in {1, 2, 4} for CI, which
+// gates shards=2 at >= 1.15x and shards=4 at >= 1.5x the shards=1 run
+// (4-vCPU runners). Rows land in BENCH_e13_shard.json, with an `env`
+// block recording the host's CPU budget so the speedups can be read in
+// context.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -20,7 +29,12 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "bench_util.hpp"
 #include "cluster/engine.hpp"
@@ -78,6 +92,37 @@ struct Invariant {
   bool operator==(const Invariant&) const = default;
 };
 
+Invariant invariant_of(const ClusterReport& r) {
+  return Invariant{r.events_executed, r.messages_sent, r.false_suspicions,
+                   r.detection_latency_ms.count()};
+}
+
+/// Sum of the always-sampled kSync rollups across shards: total barrier
+/// meets entered and wall-clock spent waiting at them (idle time, not
+/// simulation work).
+void sync_rollup(const ClusterReport& r, std::int64_t* calls,
+                 double* est_ms) {
+  *calls = 0;
+  *est_ms = 0.0;
+  for (const auto& stat : r.profile) {
+    if (stat.phase != "sync") continue;
+    *calls += stat.calls;
+    *est_ms += stat.est_ms;
+  }
+}
+
+/// CPUs this process may actually run on (the speedup ceiling); falls
+/// back to hardware_concurrency where there is no affinity API.
+int usable_cpus() {
+#ifdef __linux__
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    return CPU_COUNT(&set);
+  }
+#endif
+  return static_cast<int>(std::thread::hardware_concurrency());
+}
+
 }  // namespace
 }  // namespace rfd
 
@@ -85,15 +130,27 @@ int main(int argc, char** argv) {
   using namespace rfd;
   const bool smoke = std::getenv("RFD_E13_SMOKE") != nullptr;
   bench::JsonReport json("e13_shard");
+  json.env_num("hardware_concurrency",
+               static_cast<double>(std::thread::hardware_concurrency()));
+  json.env_num("usable_cpus", static_cast<double>(usable_cpus()));
+  json.env_str("pinning",
+#ifdef __linux__
+               "sched_getaffinity"
+#else
+               "none"
+#endif
+  );
 
   const std::vector<int> sizes =
       smoke ? std::vector<int>{4096} : std::vector<int>{1024, 4096, 10240};
   const std::vector<int> shard_counts =
-      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+      smoke ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
 
-  std::printf("E13: sharded-core scaling (gossip fabric, %s)\n\n",
-              smoke ? "smoke: n=4096, shards in {1, 2}"
+  std::printf("E13: sharded-core scaling (gossip fabric, %s)\n",
+              smoke ? "smoke: n=4096, shards in {1, 2, 4}"
                     : "n in {1024, 4096, 10240}, shards in {1, 2, 4, 8}");
+  std::printf("host: %u hw threads, %d usable cpus\n\n",
+              std::thread::hardware_concurrency(), usable_cpus());
 
   Table table({"n", "shards", "sim events", "wall ms", "events/s",
                "msgs/node/s", "speedup"});
@@ -110,9 +167,7 @@ int main(int argc, char** argv) {
       const double events_per_s =
           ms > 0.0 ? static_cast<double>(r.events_executed) / (ms / 1000.0)
                    : 0.0;
-      const Invariant inv{r.events_executed, r.messages_sent,
-                          r.false_suspicions,
-                          r.detection_latency_ms.count()};
+      const Invariant inv = invariant_of(r);
       if (shards == shard_counts.front()) {
         base_rate = events_per_s;
         baseline = inv;
@@ -148,6 +203,67 @@ int main(int argc, char** argv) {
       "barrier protocol), so it isolates the parallelism win; results are\n"
       "asserted identical across shard counts before any rate is "
       "reported.\n\n");
+
+  // E13b: barrier cost in isolation. Same workload, shards=4, crossing
+  // the two scheduling knobs; the kSync rollup is the per-shard time
+  // spent waiting at barriers and for the trace merger, summed over
+  // shards (so it can exceed wall-clock).
+  {
+    constexpr int kShards = 4;
+    ClusterConfig config = gossip_config(4096);
+    config.shards = kShards;
+    config.obs.profile = true;
+    struct Cell {
+      int spin;
+      int lookahead;
+    };
+    const std::vector<Cell> cells = {{0, 1}, {0, 8}, {-1, 1}, {-1, 8}};
+    std::printf("E13b: barrier cost (n=4096, shards=%d)\n\n", kShards);
+    Table table_b({"barrier_spin", "lookahead", "wall ms", "events/s",
+                   "sync meets", "sync wait ms"});
+    bool have_baseline = false;
+    Invariant baseline;
+    for (const Cell& cell : cells) {
+      config.barrier_spin = cell.spin;
+      config.lookahead_windows = cell.lookahead;
+      ClusterReport r;
+      const double ms =
+          wall_ms([&] { r = cluster::run_cluster(config, 0xe13); });
+      const double events_per_s =
+          ms > 0.0 ? static_cast<double>(r.events_executed) / (ms / 1000.0)
+                   : 0.0;
+      const Invariant inv = invariant_of(r);
+      if (!have_baseline) {
+        baseline = inv;
+        have_baseline = true;
+      } else {
+        RFD_REQUIRE_MSG(inv == baseline,
+                        "barrier/lookahead knobs changed results");
+      }
+      std::int64_t sync_meets = 0;
+      double sync_ms = 0.0;
+      sync_rollup(r, &sync_meets, &sync_ms);
+      table_b.add_row({cell.spin == 0 ? "0 (park)" : "-1 (default)",
+                       Table::num(cell.lookahead), Table::fixed(ms, 1),
+                       Table::fixed(events_per_s, 0), Table::num(sync_meets),
+                       Table::fixed(sync_ms, 1)});
+      json.row("barrier_cost")
+          .str("topology", "gossip")
+          .num("n", config.n)
+          .num("shards", kShards)
+          .num("barrier_spin", cell.spin)
+          .num("lookahead_windows", cell.lookahead)
+          .num("wall_ms", ms)
+          .num("events_per_s", events_per_s)
+          .num("sync_calls", static_cast<double>(sync_meets))
+          .num("sync_est_ms", sync_ms);
+    }
+    table_b.print("E13b: spin vs park, lookahead off vs on");
+    std::printf(
+        "\nevery cell is the identical simulation (asserted); the knobs\n"
+        "only move synchronization cost. sync wait is summed across "
+        "shards.\n\n");
+  }
 
   json.write();
 

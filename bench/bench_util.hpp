@@ -59,6 +59,25 @@ class JsonReport {
     return *this;
   }
 
+  /// Environment facts (host CPU count, pinning, toolchain) recorded once
+  /// per report in a top-level `"env"` object, so downstream tooling can
+  /// tell a slow run from a small machine.
+  JsonReport& env_str(const std::string& key, const std::string& value) {
+    env_.push_back("\"" + escape(key) + "\": \"" + escape(value) + "\"");
+    return *this;
+  }
+
+  JsonReport& env_num(const std::string& key, double value) {
+    char buf[64];
+    if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof(buf), "%.10g", value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    env_.push_back("\"" + escape(key) + "\": " + buf);
+    return *this;
+  }
+
   std::string path() const { return "BENCH_" + name_ + ".json"; }
 
   /// Writes the accumulated records; returns false (and prints a warning)
@@ -69,8 +88,15 @@ class JsonReport {
       std::fprintf(stderr, "warning: cannot write %s\n", path().c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [",
-                 escape(name_).c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", escape(name_).c_str());
+    if (!env_.empty()) {
+      std::fprintf(f, "  \"env\": {");
+      for (std::size_t i = 0; i < env_.size(); ++i) {
+        std::fprintf(f, "%s%s", i == 0 ? "" : ", ", env_[i].c_str());
+      }
+      std::fprintf(f, "},\n");
+    }
+    std::fprintf(f, "  \"records\": [");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
       for (std::size_t j = 0; j < rows_[i].size(); ++j) {
@@ -120,6 +146,7 @@ class JsonReport {
   }
 
   std::string name_;
+  std::vector<std::string> env_;
   std::vector<std::vector<std::string>> rows_;
 };
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -29,11 +32,32 @@ namespace {
 // The node id space is partitioned into contiguous blocks, one per shard.
 // Each shard owns an EventQueue (heartbeat pump timers for its nodes), a
 // Network instance, a Topology instance, and per-shard replicas of the
-// scenario ground truth. Time advances in *rounds*: all shards run their
-// local events up to the next check-grid boundary T_k, park at a barrier,
-// exchange the messages produced during the window, apply them, evaluate
-// check tick k, and the coordinator then does the cluster-global
-// bookkeeping (agreement, convergence, snapshots, trace merging).
+// scenario ground truth. Time advances in *epochs* of one or more check
+// windows: every worker runs the whole loop itself (the engine dispatches
+// each shard exactly once per run), advancing its local events window by
+// window, then meeting the other shards at a spin barrier to exchange the
+// messages produced since the last exchange, apply them, and evaluate the
+// exchange tick; the per-shard-reducible coordinator inputs (disagreeing
+// pairs, pending-event counts, lookahead bounds) flow up a binomial tree
+// and shard 0 runs the serial coordinator step (agreement, convergence,
+// snapshots) before a second barrier releases the next epoch. Staged
+// trace records are double-buffered to a dedicated merger thread, so
+// shards enter epoch e+1 while epoch e's records are being merged and
+// formatted.
+//
+// Lookahead (conservative-DES): deliveries apply at barrier_index(at) -
+// the first check tick strictly after arrival - so when no *buffered*
+// message's barrier falls within the next L windows and no message *yet
+// to be sent* can arrive that early either (earliest next queue event
+// plus the minimum possible network delay under the scenario's slow
+// factors; storms and pre-GST chaos only add delay), the shards run L
+// windows between exchanges instead of one. Every check tick is still
+// evaluated locally and every skipped tick's coordinator inputs are
+// recorded per shard and replayed serially by shard 0 with the identical
+// additive time accumulation, so metrics and trace bytes are unchanged
+// by the setting (the lookahead-invariance tests pin this; the
+// empty-bucket asserts at every skipped tick make a violated bound loud,
+// not silent).
 //
 // Messages are never delivered inside the window they were sent in:
 // every message - same-shard or cross-shard alike - is buffered and
@@ -62,10 +86,15 @@ namespace {
 //      shard's subsequence of the shards=1 sequence, so every per-pair
 //      outcome matches.
 //   4. Trace bytes: records are staged per shard and merged once per
-//      round under a total order on (t, type rank, a, b) - any remaining
+//      epoch under a total order on (t, type rank, a, b) - any remaining
 //      tie is between records of one shard, whose relative order is
 //      itself shard-invariant - then formatted by the single TraceWriter
-//      in merged order. Floating-point reductions (detection latency,
+//      in merged order. Epoch batching cannot reorder anything: window
+//      k+1 only emits records with t strictly above window k's, so the
+//      sorted concatenation of per-epoch batches equals the globally
+//      sorted stream no matter how ticks group into epochs (which is why
+//      lookahead and shard count both leave the bytes untouched).
+//      Floating-point reductions (detection latency,
 //      convergence) happen only on the coordinator in a fixed global
 //      order, never as a shard-order-dependent sum.
 //
@@ -186,6 +215,30 @@ struct ShardState {
 
   // Shard 0 only: effective faults awaiting coordinator bookkeeping.
   std::vector<FaultNote> fault_notes;
+
+  // Double-buffered hand-off to the trace-merger thread: at the end of
+  // epoch e the shard swaps its staged records/logs into parity slot
+  // e & 1 (after the merger finished epoch e - 2, which used the same
+  // slot) and keeps simulating while the merger sorts and formats.
+  std::array<std::vector<obs::Record>, 2> staged_records;
+  std::array<std::vector<BufferedLogLine>, 2> staged_logs;
+};
+
+/// Per-shard tree-reduction slot: the shard fills the payload after its
+/// exchange, publishes by storing the epoch number (release), and parent
+/// shards in the binomial tree fold children in (acquire). Padded so two
+/// shards' slots never share a cache line.
+struct alignas(64) SyncSlot {
+  std::atomic<std::int64_t> epoch{0};
+  /// Per check tick of the epoch: the shard's disagreeing-pair count and
+  /// local pending-event count (queue + buffered messages) after that
+  /// tick's evaluation - everything the coordinator replay needs.
+  std::vector<std::int64_t> tick_disagree;
+  std::vector<std::int64_t> tick_pending;
+  /// Lookahead inputs: earliest buffered delivery barrier (INT64_MAX if
+  /// none) and a lower bound on the next local queue event's time.
+  std::int64_t min_barrier = std::numeric_limits<std::int64_t>::max();
+  double next_send_at = std::numeric_limits<double>::infinity();
 };
 
 /// Total order for the per-round trace merge: records sort by time, then
@@ -310,6 +363,28 @@ class ClusterEngine {
     }
     RFD_REQUIRE(lo == max_nodes_);
     executor_ = std::make_unique<rt::ShardExecutor>(shard_count_);
+    if (config_.barrier_spin >= 0) {
+      executor_->set_spin_iterations(config_.barrier_spin);
+    }
+    sync_ = std::make_unique<SyncSlot[]>(
+        static_cast<std::size_t>(shard_count_));
+    // The ring-slot emptiness argument for coalesced ticks needs spans
+    // shorter than one ring revolution.
+    lookahead_cap_ = std::clamp(config_.lookahead_windows, 1,
+                                static_cast<int>(kBucketSlots));
+    // Minimum possible network delay over the whole run: the sampled
+    // delay is (min_delay + positive jitter + non-negative extras) *
+    // factor, and only scenario slow factors can scale it below
+    // min_delay, so the floor over their minimum is a sound per-message
+    // lower bound for the lookahead plan.
+    double factor_floor = 1.0;
+    for (const FaultEvent& fault : faults_) {
+      if (fault.kind == FaultKind::kSlowStart) {
+        factor_floor = std::min(factor_floor, std::max(0.0, fault.factor));
+      }
+    }
+    min_net_delay_ms_ =
+        std::max(0.0, config_.network.min_delay_ms) * factor_floor;
 
     NodeParams node_params;
     node_params.detector = config_.detector;
@@ -380,51 +455,238 @@ class ClusterEngine {
       shard->queue.schedule(phase, [this, shard, i] { pump(*shard, i); });
     }
 
-    // The round loop: the check-grid times accumulate additively (T +=
-    // check) exactly like the old self-rescheduling check timer, so
-    // suspicion-record timestamps are unchanged.
-    double T = 0.0;
-    std::int64_t round = 0;
-    for (;;) {
-      const double next = T + check_ms_;
-      if (next > config_.duration_ms) break;
-      T = next;
-      ++round;
-      const double t_end = T;
-      const std::int64_t k = round;
-      executor_->parallel([this, t_end, k](int s) {
-        ShardState& shard = *shards_[static_cast<std::size_t>(s)];
-        const ScopedThreadLogBuffer log_scope(&shard.log_buf);
-        run_window(shard, t_end, k);
-      });
-      executor_->parallel([this, t_end, k](int s) {
-        ShardState& shard = *shards_[static_cast<std::size_t>(s)];
-        const ScopedThreadLogBuffer log_scope(&shard.log_buf);
-        deliver_and_evaluate(shard, k, t_end);
-      });
-      coordinate(k, T);
+    // Fix the round count of the check grid up front, replicating the
+    // exact additive accumulation (T += check) the loop below performs,
+    // so the final plan and the workers' clocks agree bit-for-bit with
+    // the old self-rescheduling check timer.
+    rounds_total_ = 0;
+    {
+      double t = 0.0;
+      for (;;) {
+        const double next = t + check_ms_;
+        if (next > config_.duration_ms) break;
+        t = next;
+        ++rounds_total_;
+      }
     }
-    rounds_done_ = round;
-    if (T < config_.duration_ms) {
-      // Grid-misaligned tail: run the remaining pumps (and any faults)
-      // up to the duration. No check tick lands here - same as the old
-      // engine - and deliveries arriving past the last tick can no
-      // longer influence any metric, so they stay buffered.
-      const double t_end = config_.duration_ms;
-      const std::int64_t k = round + 1;
-      executor_->parallel([this, t_end, k](int s) {
-        ShardState& shard = *shards_[static_cast<std::size_t>(s)];
-        const ScopedThreadLogBuffer log_scope(&shard.log_buf);
-        run_window(shard, t_end, k);
-      });
-      merge_round();
+    // The first epoch is always a single window (there are no lookahead
+    // inputs yet); shard 0 publishes every later plan.
+    plan_hi_ = std::min<std::int64_t>(1, rounds_total_);
+    use_merger_ = trace_ != nullptr && shard_count_ > 1;
+    if (use_merger_) {
+      merger_ = std::thread([this] { merger_main(); });
     }
+    try {
+      // One dispatch per run: the workers own the whole epoch loop and
+      // synchronize among themselves at the executor's spin barrier.
+      executor_->run([this](int s) { shard_loop(s); });
+    } catch (...) {
+      stop_merger();
+      throw;
+    }
+    stop_merger();
+    if (merger_error_ != nullptr) std::rethrow_exception(merger_error_);
+    rounds_done_ = rounds_total_;
     finalize();
     return std::move(report_);
   }
 
  private:
   static constexpr std::int64_t kBucketSlots = 256;  // power of two
+
+  /// The worker-resident epoch loop; every shard runs this once per
+  /// simulation (shard 0 on the calling thread). plan_hi_ names the
+  /// current epoch's exchange tick; shard 0 publishes the next plan in
+  /// coordinator_step(), between the reduction tree and the release
+  /// barrier, so the barrier's release/acquire pairing is what carries
+  /// it to the peers. Any `return` on a false arrive_and_wait() is the
+  /// abort path: a peer threw, the executor rethrows after the join.
+  void shard_loop(int s) {
+    ShardState& shard = *shards_[static_cast<std::size_t>(s)];
+    const ScopedThreadLogBuffer log_scope(&shard.log_buf);
+    rt::SpinBarrier& barrier = executor_->barrier();
+    const bool multi = shard_count_ > 1;
+    obs::Profiler* const prof = shard.profiler.get();
+    SyncSlot& slot = sync_[static_cast<std::size_t>(s)];
+
+    double T = 0.0;
+    std::int64_t k_done = 0;
+    std::int64_t epoch = 0;
+    for (;;) {
+      const std::int64_t k_hi = plan_hi_;
+      if (k_hi <= k_done) break;
+      const std::int64_t k_lo = k_done + 1;
+      ++epoch;
+      const std::size_t span = static_cast<std::size_t>(k_hi - k_lo + 1);
+      slot.tick_disagree.assign(span, 0);
+      slot.tick_pending.assign(span, 0);
+      for (std::int64_t k = k_lo; k < k_hi; ++k) {
+        T += check_ms_;
+        run_window(shard, T, k);
+        // A coalesced (exchange-free) tick is legal only because the
+        // lookahead bound proved nothing can land at it; these asserts
+        // make a violated bound loud, not silently nondeterministic.
+        RFD_REQUIRE(
+            shard.buckets[static_cast<std::size_t>(k & (kBucketSlots - 1))]
+                .empty());
+        RFD_REQUIRE(shard.far_buckets.find(k) == shard.far_buckets.end());
+        evaluate_tick(shard, k, T);
+        record_tick(shard, slot, k - k_lo);
+      }
+      T += check_ms_;
+      run_window(shard, T, k_hi);
+      if (multi) {
+        const obs::ScopedPhase sync(prof, obs::Phase::kSync, true);
+        if (!barrier.arrive_and_wait()) return;
+      }
+      deliver_and_evaluate(shard, k_hi, T);
+      record_tick(shard, slot, static_cast<std::int64_t>(span) - 1);
+      if (lookahead_cap_ > 1) {
+        slot.min_barrier = min_buffered_barrier(shard, k_hi);
+        slot.next_send_at = shard.queue.next_event_at_bound();
+      }
+      if (use_merger_) {
+        // Hand this epoch's records and log lines to the merger via the
+        // parity slot the merger last used two epochs ago.
+        const obs::ScopedPhase sync(prof, obs::Phase::kSync, true);
+        wait_merged(epoch - 2);
+        shard.staged_records[static_cast<std::size_t>(epoch & 1)].swap(
+            shard.sink.records);
+        shard.staged_logs[static_cast<std::size_t>(epoch & 1)].swap(
+            shard.log_buf);
+      }
+      if (multi) {
+        {
+          const obs::ScopedPhase sync(prof, obs::Phase::kSync, true);
+          if (!reduce_combine(s, epoch, barrier)) return;
+        }
+        if (s == 0) coordinator_step(epoch, k_lo, k_hi);
+        const obs::ScopedPhase sync(prof, obs::Phase::kSync, true);
+        if (!barrier.arrive_and_wait()) return;
+      } else {
+        coordinator_step(epoch, k_lo, k_hi);
+      }
+      k_done = k_hi;
+    }
+    if (T < config_.duration_ms) {
+      // Grid-misaligned tail: run the remaining pumps (and any faults)
+      // up to the duration. No check tick lands here - same as the old
+      // engine - and deliveries arriving past the last tick can no
+      // longer influence any metric, so they stay buffered.
+      run_window(shard, config_.duration_ms, k_done + 1);
+      if (multi) {
+        const obs::ScopedPhase sync(prof, obs::Phase::kSync, true);
+        if (!barrier.arrive_and_wait()) return;
+      }
+    }
+    // Peers do nothing after their final barrier, so shard 0 may read
+    // every shard's staging buffers here without further handshaking.
+    if (s == 0) drain_trailing(epoch);
+  }
+
+  /// Records tick `i`'s coordinator inputs: this shard's disagreeing
+  /// count and local pending-event population after the tick's
+  /// evaluation.
+  void record_tick(const ShardState& shard, SyncSlot& slot,
+                   std::int64_t i) const {
+    slot.tick_disagree[static_cast<std::size_t>(i)] = shard.disagreeing;
+    slot.tick_pending[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(shard.queue.size()) + shard.pending_msgs;
+  }
+
+  /// Earliest buffered delivery barrier still pending on this shard
+  /// after the exchange at tick `k` (INT64_MAX if none). Ring slots are
+  /// keyed mod kBucketSlots, but an occupied slot j windows ahead can
+  /// only mean barrier k + j: entries are filed with b - round <
+  /// kBucketSlots and every b <= k was already drained.
+  std::int64_t min_buffered_barrier(const ShardState& shard,
+                                    std::int64_t k) const {
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (std::int64_t j = 1; j < kBucketSlots; ++j) {
+      if (!shard
+               .buckets[static_cast<std::size_t>((k + j) &
+                                                 (kBucketSlots - 1))]
+               .empty()) {
+        best = k + j;
+        break;
+      }
+    }
+    if (!shard.far_buckets.empty()) {
+      best = std::min(best, shard.far_buckets.begin()->first);
+    }
+    return best;
+  }
+
+  /// Parks until the merger finished epoch `target` (<= 0: trivially
+  /// done). Deadlock-free even on the abort path: the merger is
+  /// independent of the worker barrier, only ever waits for epochs
+  /// already staged, and always advances merged_epoch_ (even when
+  /// capturing an error).
+  void wait_merged(std::int64_t target) {
+    std::int64_t cur = merged_epoch_.load(std::memory_order_acquire);
+    while (cur < target) {
+      merged_epoch_.wait(cur, std::memory_order_acquire);
+      cur = merged_epoch_.load(std::memory_order_acquire);
+    }
+  }
+
+  /// Binomial-tree fold of the sync slots: shard s folds child s + d for
+  /// d = 1, 2, 4, ... while (s & d) == 0, then publishes its own slot.
+  /// The child waits are bounded spin/yield - never a park - so a peer's
+  /// abort() can always drain us out (a thrown shard never publishes).
+  bool reduce_combine(int s, std::int64_t epoch, rt::SpinBarrier& barrier) {
+    SyncSlot& slot = sync_[static_cast<std::size_t>(s)];
+    for (int d = 1; d < shard_count_; d <<= 1) {
+      if ((s & d) != 0) break;
+      const int child = s + d;
+      if (child >= shard_count_) continue;
+      SyncSlot& cs = sync_[static_cast<std::size_t>(child)];
+      std::uint32_t spins = 0;
+      while (cs.epoch.load(std::memory_order_acquire) < epoch) {
+        if (barrier.aborted()) return false;
+        rt::cpu_relax();
+        if ((++spins & 1023u) == 0) std::this_thread::yield();
+      }
+      const std::size_t span = slot.tick_disagree.size();
+      for (std::size_t i = 0; i < span; ++i) {
+        slot.tick_disagree[i] += cs.tick_disagree[i];
+        slot.tick_pending[i] += cs.tick_pending[i];
+      }
+      slot.min_barrier = std::min(slot.min_barrier, cs.min_barrier);
+      slot.next_send_at = std::min(slot.next_send_at, cs.next_send_at);
+    }
+    if (s != 0) slot.epoch.store(epoch, std::memory_order_release);
+    return true;
+  }
+
+  /// Chooses the exchange tick after `k_prev`: one window by default, up
+  /// to lookahead_cap_ when the reduced bounds prove no delivery can
+  /// land strictly inside the span. safe = min(earliest buffered
+  /// barrier, barrier of the earliest possible *future* arrival); any
+  /// k_hi <= safe keeps every skipped tick delivery-free, since a
+  /// message sent during the span leaves no earlier than the global
+  /// next-event bound and travels at least min_net_delay_ms_. Snapshot
+  /// cadences cap the plan so snapshot ticks stay exchange ticks.
+  std::int64_t next_plan(std::int64_t k_prev) const {
+    const std::int64_t k_lo = k_prev + 1;
+    if (k_lo > rounds_total_) return k_prev;  // done: workers exit
+    if (lookahead_cap_ <= 1) return k_lo;
+    const SyncSlot& global = sync_[0];
+    std::int64_t safe = global.min_barrier;
+    if (std::isfinite(global.next_send_at)) {
+      safe = std::min(
+          safe, barrier_index(global.next_send_at + min_net_delay_ms_));
+    }
+    std::int64_t hi =
+        std::clamp(safe, k_lo,
+                   k_lo + static_cast<std::int64_t>(lookahead_cap_) - 1);
+    hi = std::min(hi, rounds_total_);
+    if (trace_ != nullptr && config_.obs.snapshot_every_ticks > 0) {
+      const std::int64_t every = config_.obs.snapshot_every_ticks;
+      hi = std::min(hi, (k_prev / every + 1) * every);
+    }
+    return hi;
+  }
 
   bool owns(const ShardState& shard, NodeId j) const {
     return j >= shard.lo && j < shard.hi;
@@ -672,6 +934,13 @@ class ClusterEngine {
     shard.delivered_msgs += static_cast<std::int64_t>(bucket.size());
     bucket.clear();
 
+    evaluate_tick(shard, k, now);
+  }
+
+  /// Evaluates check tick k: drains the suspicion wheel's slot and
+  /// re-judges every armed pair. Runs at every tick - coalesced ticks
+  /// included - which is why lookahead never changes a verdict time.
+  void evaluate_tick(ShardState& shard, std::int64_t k, double now) {
     shard.check_tick = k;
     shard.wheel_scratch.clear();
     shard.wheel.drain(k, shard.wheel_scratch);
@@ -918,41 +1187,37 @@ class ClusterEngine {
     }
   }
 
-  /// Coordinator bookkeeping for the faults shard 0 found effective this
-  /// round: ground-truth versioning, disruption counting, detection
-  /// baselines. Runs before the round's agreement check, mirroring the
-  /// old in-window ordering.
-  void process_fault_notes() {
-    ShardState& shard0 = *shards_.front();
-    for (const FaultNote& note : shard0.fault_notes) {
-      const FaultEvent& event = faults_[note.index];
-      switch (event.kind) {
-        case FaultKind::kCrash:
-        case FaultKind::kLeave:
-          down_since_[static_cast<std::size_t>(event.node)] = note.at;
-          bump_truth(note.at);
-          break;
-        case FaultKind::kRecover:
-          down_since_[static_cast<std::size_t>(event.node)] = -1.0;
-          bump_truth(note.at);
-          break;
-        case FaultKind::kJoin:
-        case FaultKind::kPartition:
-        case FaultKind::kStormStart:
-        case FaultKind::kLinkDown:
-        case FaultKind::kSlowStart:
-          break;
-        case FaultKind::kHeal:
-        case FaultKind::kStormEnd:
-        case FaultKind::kLinkUp:
-        case FaultKind::kSlowEnd:
-          // Re-convergence is only measurable if the episode actually
-          // drove the cluster into disagreement.
-          if (!last_agreement_) bump_truth(note.at);
-          break;
-      }
+  /// Coordinator bookkeeping for one fault shard 0 found effective:
+  /// ground-truth versioning, disruption counting, detection baselines.
+  /// Applied in staged (chronological) order, before the agreement check
+  /// of the tick whose window produced it - the old in-window ordering.
+  void apply_fault_note(const FaultNote& note) {
+    const FaultEvent& event = faults_[note.index];
+    switch (event.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kLeave:
+        down_since_[static_cast<std::size_t>(event.node)] = note.at;
+        bump_truth(note.at);
+        break;
+      case FaultKind::kRecover:
+        down_since_[static_cast<std::size_t>(event.node)] = -1.0;
+        bump_truth(note.at);
+        break;
+      case FaultKind::kJoin:
+      case FaultKind::kPartition:
+      case FaultKind::kStormStart:
+      case FaultKind::kLinkDown:
+      case FaultKind::kSlowStart:
+        break;
+      case FaultKind::kHeal:
+      case FaultKind::kStormEnd:
+      case FaultKind::kLinkUp:
+      case FaultKind::kSlowEnd:
+        // Re-convergence is only measurable if the episode actually
+        // drove the cluster into disagreement.
+        if (!last_agreement_) bump_truth(note.at);
+        break;
     }
-    shard0.fault_notes.clear();
   }
 
   void bump_truth(double now) {
@@ -964,35 +1229,154 @@ class ClusterEngine {
     c_disruptions_->add(1);
   }
 
-  /// Phase C of a round (coordinator, serial): scenario bookkeeping,
-  /// cluster agreement, gauges, snapshots, and the trace merge.
-  void coordinate(std::int64_t k, double now) {
-    process_fault_notes();
+  /// The serial coordinator step (shard 0 only, peers quiesced between
+  /// the reduction tree and the release barrier): replays every tick of
+  /// the epoch in order from the reduced per-tick sums - scenario
+  /// bookkeeping, cluster agreement, convergence, pending peak, each
+  /// with the identical additive clock (coord_T_ += check per tick) the
+  /// single-window engine used - then hands the epoch's trace to the
+  /// merger, snapshots if due, and publishes the next plan.
+  void coordinator_step(std::int64_t epoch, std::int64_t k_lo,
+                        std::int64_t k_hi) {
+    ShardState& shard0 = *shards_.front();
+    const SyncSlot& global = sync_[0];
+    std::size_t note_i = 0;
     std::int64_t disagreeing = 0;
-    for (const auto& shard : shards_) disagreeing += shard->disagreeing;
-    const bool all_agree = disagreeing == 0;
-    if (all_agree && agreed_version_ < truth_version_) {
-      h_convergence_->add(now - truth_change_time_);
-      agreed_version_ = truth_version_;
+    for (std::int64_t k = k_lo; k <= k_hi; ++k) {
+      coord_T_ += check_ms_;
+      const double now = coord_T_;
+      while (note_i < shard0.fault_notes.size() &&
+             shard0.fault_notes[note_i].at <= now) {
+        apply_fault_note(shard0.fault_notes[note_i]);
+        ++note_i;
+      }
+      while (coord_fault_cursor_ < faults_.size() &&
+             faults_[coord_fault_cursor_].at_ms <= now) {
+        ++coord_fault_cursor_;
+      }
+      disagreeing =
+          global.tick_disagree[static_cast<std::size_t>(k - k_lo)];
+      const bool all_agree = disagreeing == 0;
+      if (all_agree && agreed_version_ < truth_version_) {
+        h_convergence_->add(now - truth_change_time_);
+        agreed_version_ = truth_version_;
+      }
+      last_agreement_ = all_agree;
+      const std::int64_t pending =
+          global.tick_pending[static_cast<std::size_t>(k - k_lo)] +
+          static_cast<std::int64_t>(faults_.size() - coord_fault_cursor_);
+      peak_logical_queue_ = std::max(peak_logical_queue_, pending);
     }
-    last_agreement_ = all_agree;
-    peak_logical_queue_ =
-        std::max(peak_logical_queue_, logical_pending(k));
-    merge_round();
-    // Snapshots piggyback on the round barrier instead of scheduling
-    // their own events, so enabling them cannot perturb the simulation.
+    RFD_REQUIRE(note_i == shard0.fault_notes.size());
+    shard0.fault_notes.clear();
+    if (use_merger_) {
+      staged_epoch_.store(epoch, std::memory_order_release);
+      merge_signal_.fetch_add(1, std::memory_order_release);
+      merge_signal_.notify_all();
+    } else {
+      merge_inline();
+    }
+    // Snapshots piggyback on exchange barriers instead of scheduling
+    // their own events, so enabling them cannot perturb the simulation;
+    // next_plan caps spans at snapshot multiples, so every multiple is
+    // an exchange tick. The TraceWriter is shared with the merger
+    // thread, which therefore must drain this epoch first.
     if (trace_ != nullptr && config_.obs.snapshot_every_ticks > 0 &&
-        k % config_.obs.snapshot_every_ticks == 0) {
-      snapshot(k, now, disagreeing);
+        k_hi % config_.obs.snapshot_every_ticks == 0) {
+      if (use_merger_) {
+        const obs::ScopedPhase sync(shard0.profiler.get(),
+                                    obs::Phase::kSync, true);
+        wait_merged(epoch);
+      }
+      snapshot(k_hi, coord_T_, disagreeing);
+    }
+    plan_hi_ = next_plan(k_hi);
+  }
+
+  /// Shard 0, after every worker finished simulating: drain the merger,
+  /// then merge whatever a grid-misaligned tail window staged.
+  void drain_trailing(std::int64_t epochs) {
+    if (use_merger_) wait_merged(epochs);
+    merge_inline();
+  }
+
+  /// Dedicated trace-merger thread (spawned only when tracing with more
+  /// than one shard): drains staged epochs in order while the shards
+  /// simulate ahead, bounded to two in-flight epochs by the parity
+  /// hand-off. Exceptions are captured - merged_epoch_ still advances,
+  /// so no worker ever hangs on the flow-control wait - and rethrown by
+  /// run() after the join.
+  void merger_main() {
+    std::int64_t done = 0;
+    for (;;) {
+      if (done < staged_epoch_.load(std::memory_order_acquire)) {
+        ++done;
+        try {
+          if (merger_error_ == nullptr) merge_staged_epoch(done);
+        } catch (...) {
+          merger_error_ = std::current_exception();
+        }
+        if (merger_error_ != nullptr) {
+          // Keep the parity hand-off flowing without doing work.
+          for (const auto& shard : shards_) {
+            shard->staged_records[static_cast<std::size_t>(done & 1)]
+                .clear();
+            shard->staged_logs[static_cast<std::size_t>(done & 1)].clear();
+          }
+        }
+        merged_epoch_.store(done, std::memory_order_release);
+        merged_epoch_.notify_all();
+        continue;
+      }
+      if (merge_stop_.load(std::memory_order_acquire)) return;
+      const std::int64_t sig =
+          merge_signal_.load(std::memory_order_acquire);
+      if (staged_epoch_.load(std::memory_order_acquire) > done ||
+          merge_stop_.load(std::memory_order_acquire)) {
+        continue;
+      }
+      merge_signal_.wait(sig, std::memory_order_acquire);
     }
   }
 
-  /// Logical pending-event count at barrier `k`: local timers plus
-  /// buffered messages and unapplied faults - the same population the
-  /// old single queue held at snapshot time (the check chain itself is
-  /// mid-execution there and uncounted). Shard-count-invariant by
+  /// Merges one staged epoch (both parity buffers' owners have long
+  /// published it): concatenate, stable-sort under the deterministic
+  /// total order, emit, then forward the buffered log lines.
+  void merge_staged_epoch(std::int64_t e) {
+    const std::size_t parity = static_cast<std::size_t>(e & 1);
+    merge_scratch_.clear();
+    for (const auto& shard : shards_) {
+      auto& records = shard->staged_records[parity];
+      merge_scratch_.insert(merge_scratch_.end(), records.begin(),
+                            records.end());
+      records.clear();
+    }
+    std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                     record_before);
+    for (const obs::Record& r : merge_scratch_) trace_->emit(r);
+    for (const auto& shard : shards_) {
+      for (const BufferedLogLine& line :
+           shard->staged_logs[parity]) {
+        detail::log_line(line.level, line.line);
+      }
+      shard->staged_logs[parity].clear();
+    }
+  }
+
+  void stop_merger() {
+    if (!merger_.joinable()) return;
+    merge_stop_.store(true, std::memory_order_release);
+    merge_signal_.fetch_add(1, std::memory_order_release);
+    merge_signal_.notify_all();
+    merger_.join();
+  }
+
+  /// Logical pending-event count at an exchange barrier: local timers
+  /// plus buffered messages and unapplied faults - the same population
+  /// the old single queue held at snapshot time (the check chain itself
+  /// is mid-execution there and uncounted). Shard-count-invariant by
   /// construction (each term is).
-  std::int64_t logical_pending(std::int64_t /*k*/) const {
+  std::int64_t logical_pending() const {
     std::int64_t pending = 0;
     for (const auto& shard : shards_) {
       pending += static_cast<std::int64_t>(shard->queue.size());
@@ -1052,7 +1436,7 @@ class ClusterEngine {
     g_net_sent_->set(static_cast<double>(sent));
     g_net_dropped_->set(static_cast<double>(dropped));
     g_net_partition_->set(static_cast<double>(partition_dropped));
-    g_queue_size_->set(static_cast<double>(logical_pending(k)));
+    g_queue_size_->set(static_cast<double>(logical_pending()));
     g_queue_executed_->set(static_cast<double>(logical_executed(k)));
     std::size_t max_hot = 0;
     for (const ClusterNode& node : nodes_) {
@@ -1062,10 +1446,13 @@ class ClusterEngine {
     registry_.snapshot(*trace_, now, k);
   }
 
-  /// Merges every shard's staged trace records into the writer under the
-  /// deterministic total order, then forwards buffered worker log lines
-  /// (whole lines, shard order) to the process-wide sink.
-  void merge_round() {
+  /// Inline (caller-thread) merge of every shard's *live* staging
+  /// buffers into the writer under the deterministic total order, then
+  /// forwards buffered worker log lines (whole lines, shard order) to
+  /// the process-wide sink. Used on the single-shard path (no merger
+  /// thread) and for the tail window after the workers quiesce; the
+  /// multi-shard steady state goes through merge_staged_epoch instead.
+  void merge_inline() {
     if (trace_ != nullptr) {
       merge_scratch_.clear();
       for (const auto& shard : shards_) {
@@ -1087,7 +1474,12 @@ class ClusterEngine {
   }
 
   void finalize() {
-    process_fault_notes();  // faults from a grid-misaligned tail window
+    // Faults from a grid-misaligned tail window: no tick follows them,
+    // so they replay here, in staged order.
+    for (const FaultNote& note : shards_.front()->fault_notes) {
+      apply_fault_note(note);
+    }
+    shards_.front()->fault_notes.clear();
     const ShardState& shard0 = *shards_.front();
     for (NodeId j = 0; j < max_nodes_; ++j) {
       const bool down = truly_down(shard0, j);
@@ -1204,6 +1596,31 @@ class ClusterEngine {
   bool last_agreement_ = true;
   std::int64_t rounds_done_ = 0;
   std::int64_t peak_logical_queue_ = 0;
+
+  // Worker-resident loop state. plan_hi_ is plain: it is written by
+  // shard 0 between the reduction tree and the release barrier and read
+  // by the peers only after that barrier (whose release/acquire chain
+  // orders it); everything else cross-thread goes through the atomics.
+  std::int64_t rounds_total_ = 0;
+  std::int64_t plan_hi_ = 0;
+  int lookahead_cap_ = 1;
+  double min_net_delay_ms_ = 0.0;
+  std::unique_ptr<SyncSlot[]> sync_;
+  // Coordinator replay cursors (only shard 0's serial step touches
+  // them): the replayed clock - bit-identical to the workers' additive
+  // accumulation - and the fault cursor mirroring the shards' own.
+  double coord_T_ = 0.0;
+  std::size_t coord_fault_cursor_ = 0;
+  // Trace-merger thread plumbing. merge_signal_ exists because
+  // atomic::wait needs a value that changes on every wake-worthy event
+  // (staged_epoch_ alone can be re-stored before a waiter re-checks).
+  bool use_merger_ = false;
+  std::thread merger_;
+  std::atomic<std::int64_t> staged_epoch_{0};
+  std::atomic<std::int64_t> merged_epoch_{0};
+  std::atomic<std::int64_t> merge_signal_{0};
+  std::atomic<bool> merge_stop_{false};
+  std::exception_ptr merger_error_;
 
   // Observability. The registry always exists (it is the aggregation
   // store); trace exists only when configured. Handles are cached once.

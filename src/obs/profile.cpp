@@ -12,6 +12,8 @@ const char* phase_name(Phase phase) {
       return "dispatch";
     case Phase::kRoute:
       return "route";
+    case Phase::kSync:
+      return "sync";
   }
   return "?";
 }

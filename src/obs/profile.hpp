@@ -23,8 +23,9 @@ enum class Phase : std::uint8_t {
   kDigest,       // topology digest selection per outgoing message
   kDispatch,     // EventQueue task dispatch
   kRoute,        // Network::route verdict + delay draw
+  kSync,         // sharded-core barrier/merge waits (per-shard idle time)
 };
-inline constexpr int kNumPhases = 4;
+inline constexpr int kNumPhases = 5;
 
 const char* phase_name(Phase phase);
 
@@ -58,15 +59,20 @@ class Profiler {
 };
 
 /// RAII phase scope. `profiler == nullptr` disables it entirely.
+/// `always = true` bypasses sampling and times every entry — used for
+/// rare-but-variable scopes (barrier waits: a handful per check tick,
+/// with durations too skewed for 1-in-2^shift sampling to estimate).
 class ScopedPhase {
  public:
-  ScopedPhase(Profiler* profiler, Phase phase) {
+  ScopedPhase(Profiler* profiler, Phase phase, bool always = false) {
     if (profiler == nullptr) return;
     Profiler::Acc& acc =
         profiler->acc_[static_cast<std::size_t>(phase)];
-    if ((static_cast<std::uint64_t>(acc.calls++) & profiler->mask_) != 0) {
-      return;
-    }
+    const bool sample =
+        always ||
+        (static_cast<std::uint64_t>(acc.calls) & profiler->mask_) == 0;
+    ++acc.calls;
+    if (!sample) return;
     acc_ = &acc;
     start_ = std::chrono::steady_clock::now();
   }

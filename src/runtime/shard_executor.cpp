@@ -4,8 +4,20 @@
 
 namespace rfd::rt {
 
+int SpinBarrier::default_spin_iterations() {
+  // On a single-hardware-thread host spinning only delays the peer we
+  // are waiting for; park immediately. Otherwise a few tens of
+  // microseconds of spin covers the inter-shard arrival skew of one
+  // check window without touching the kernel.
+  static const int kDefault =
+      std::thread::hardware_concurrency() <= 1 ? 0 : (1 << 14);
+  return kDefault;
+}
+
 ShardExecutor::ShardExecutor(int shards)
-    : shards_(shards), errors_(static_cast<std::size_t>(shards)) {
+    : shards_(shards),
+      barrier_(shards),
+      errors_(static_cast<std::size_t>(shards)) {
   RFD_REQUIRE(shards >= 1);
   threads_.reserve(static_cast<std::size_t>(shards - 1));
   for (int s = 1; s < shards; ++s) {
@@ -22,24 +34,28 @@ ShardExecutor::~ShardExecutor() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ShardExecutor::run_shard(const std::function<void(int)>& fn, int shard) {
+void ShardExecutor::run_shard(FnRef fn, int shard) {
   try {
     fn(shard);
   } catch (...) {
     errors_[static_cast<std::size_t>(shard)] = std::current_exception();
+    // Drain peers out of any barrier wait so the join below completes.
+    barrier_.abort();
   }
 }
 
-void ShardExecutor::parallel(const std::function<void(int)>& fn) {
+void ShardExecutor::run(FnRef fn) {
   if (shards_ == 1) {
     // Single-shard fast path: no pool, no locks, exceptions propagate
-    // directly.
+    // directly. barrier() still "works" (parties == 1).
     fn(0);
     return;
   }
+  barrier_.reset();
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
+    job_ = fn;
+    has_job_ = true;
     running_ = shards_ - 1;
     ++epoch_;
   }
@@ -48,12 +64,13 @@ void ShardExecutor::parallel(const std::function<void(int)>& fn) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [this] { return running_ == 0; });
-    job_ = nullptr;
+    has_job_ = false;
   }
   for (std::exception_ptr& error : errors_) {
     if (error != nullptr) {
       const std::exception_ptr first = error;
       for (std::exception_ptr& e : errors_) e = nullptr;
+      barrier_.reset();
       std::rethrow_exception(first);
     }
   }
@@ -62,7 +79,7 @@ void ShardExecutor::parallel(const std::function<void(int)>& fn) {
 void ShardExecutor::worker(int shard) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
-    const std::function<void(int)>* job = nullptr;
+    FnRef job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
@@ -70,7 +87,7 @@ void ShardExecutor::worker(int shard) {
       seen_epoch = epoch_;
       job = job_;
     }
-    run_shard(*job, shard);
+    run_shard(job, shard);
     bool last = false;
     {
       const std::lock_guard<std::mutex> lock(mu_);

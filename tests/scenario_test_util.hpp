@@ -56,6 +56,30 @@ inline ClusterConfig scenario_cluster_config(const ScenarioDoc& doc) {
   return config;
 }
 
+/// Every report field a run produces, serialized for one-shot equality.
+/// Shared by the shard-count and lookahead invariance suites: both assert
+/// field-identical reports against a baseline run.
+inline std::string report_fingerprint(const ClusterReport& r) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << r.n << '|' << r.max_nodes << '|' << r.topology << '|' << r.detector
+     << '|' << r.duration_ms << '|' << r.messages_sent << '|'
+     << r.messages_dropped << '|' << r.partition_dropped << '|'
+     << r.digest_entries_sent << '|' << r.digest_payload_bytes << '|'
+     << r.messages_per_node_per_s << '|' << r.entries_per_node_per_s << '|'
+     << r.payload_bytes_per_node_per_s << '|' << r.events_executed << '|'
+     << r.peak_event_queue << '|' << r.detection_latency_ms.count() << '|'
+     << r.detection_latency_ms.mean() << '|' << r.detection_latency_ms.max()
+     << '|' << r.missed_detections << '|' << r.false_suspicions << '|'
+     << r.false_suspicions_per_node_per_min << '|'
+     << r.convergence_ms.count() << '|' << r.convergence_ms.mean() << '|'
+     << r.disruptions << '|' << r.unconverged_disruptions << '|'
+     << r.final_agreement << '|' << r.suspicion_raises << '|'
+     << r.suspicion_clears << '|' << r.trace_records << '|'
+     << r.trace_dropped;
+  return ss.str();
+}
+
 inline std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   std::ostringstream ss;

@@ -1,4 +1,6 @@
 #include <atomic>
+#include <chrono>
+#include <random>
 #include <stdexcept>
 #include <vector>
 
@@ -74,6 +76,70 @@ TEST(ShardExecutor, LowestShardExceptionPropagates) {
   std::atomic<int> hits{0};
   executor.parallel([&](int) { ++hits; });
   EXPECT_EQ(hits.load(), 3);
+}
+
+TEST(ShardExecutor, WorkerResidentLoopStressSpinThenPark) {
+  // The engine's worker-resident shape: one run() dispatch, shards
+  // looping rounds against the executor's SpinBarrier. A deliberately
+  // tiny spin budget plus randomized per-shard stalls forces every
+  // combination of fast-path spin release and futex park/wake, while
+  // the phase-data check proves each release is a full memory barrier
+  // (writes before arrival visible to every shard after it).
+  constexpr int kShards = 4;
+  constexpr int kRounds = 150;
+  ShardExecutor executor(kShards);
+  executor.set_spin_iterations(64);
+  SpinBarrier& barrier = executor.barrier();
+  std::vector<int> slots(kShards, 0);  // plain ints on purpose
+  std::atomic<int> mismatches{0};
+  executor.run([&](int s) {
+    std::mt19937 rng(static_cast<unsigned>(7919 * (s + 1)));
+    for (int round = 1; round <= kRounds; ++round) {
+      if ((rng() & 3u) == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(rng() % 300));
+      }
+      slots[static_cast<std::size_t>(s)] = round * (s + 1);
+      if (!barrier.arrive_and_wait()) return;
+      long long sum = 0;
+      for (const int v : slots) sum += v;
+      if (sum != static_cast<long long>(round) * kShards * (kShards + 1) / 2) {
+        ++mismatches;
+      }
+      // Second barrier: next round's writes must not race this read.
+      if (!barrier.arrive_and_wait()) return;
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ShardExecutor, SimultaneousExceptionsPickLowestShard) {
+  // Three shards throw at once while shard 0 sits parked (spin budget
+  // 0) in the barrier: the abort must futex-wake it with a false
+  // return, and the join must rethrow the lowest-shard exception no
+  // matter which throw won the race. Repeated to exercise the barrier
+  // reset/reuse path after each abort.
+  constexpr int kShards = 4;
+  ShardExecutor executor(kShards);
+  executor.set_spin_iterations(0);
+  for (int trial = 0; trial < 5; ++trial) {
+    try {
+      executor.run([&](int s) {
+        if (s == 0) {
+          while (executor.barrier().arrive_and_wait()) {
+          }
+          return;  // released by the abort, never a normal release
+        }
+        throw std::runtime_error("shard " + std::to_string(s));
+      });
+      FAIL() << "expected the shard exception to be rethrown";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "shard 1");
+    }
+  }
+  // The pool and barrier survive every aborted invocation.
+  std::atomic<int> hits{0};
+  executor.run([&](int) { ++hits; });
+  EXPECT_EQ(hits.load(), kShards);
 }
 
 TEST(ShardExecutor, ThreadLogBuffersCaptureWorkerLines) {

@@ -1,0 +1,146 @@
+// Delay-lookahead window coalescing must be invisible: for any
+// (shards, lookahead_windows) pair the run is the same pure function of
+// (config, seed) - field-identical reports and byte-identical JSONL
+// traces. Local evaluation still happens at every check tick, so the
+// plan only changes how often shards meet at the barrier, never what
+// they compute (see cluster/engine.cpp for the safety argument). These
+// tests pin that against the scenario library's fault timelines - slow
+// factors shrink the usable delay floor, flapping links exercise the
+// buffered-barrier bound - and then prove on a sparse configuration that
+// coalescing actually engages (fewer barrier meets, same results).
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/engine.hpp"
+#include "obs/profile.hpp"
+#include "scenario_test_util.hpp"
+
+namespace rfd::cluster {
+namespace {
+
+using testutil::report_fingerprint;
+
+std::string temp_trace_path(const char* tag, int shards, int lookahead) {
+  std::ostringstream ss;
+  ss << ::testing::TempDir() << "/rfd_lookahead_" << tag << "_" << shards
+     << "_" << lookahead << ".jsonl";
+  return ss.str();
+}
+
+/// Runs the full (shards x lookahead) grid; every cell must reproduce
+/// the shards=1, lookahead=1 baseline exactly.
+void expect_lookahead_invariant(ClusterConfig config, std::uint64_t seed,
+                                const char* tag) {
+  std::string baseline_report;
+  std::string baseline_trace;
+  bool have_baseline = false;
+  for (const int shards : {1, 2, 4}) {
+    for (const int lookahead : {1, 32}) {
+      config.shards = shards;
+      config.lookahead_windows = lookahead;
+      const std::string path = temp_trace_path(tag, shards, lookahead);
+      config.obs.trace_path = path;
+      config.obs.snapshot_every_ticks = 10;
+      const ClusterReport report = run_cluster(config, seed);
+      EXPECT_EQ(report.trace_dropped, 0);
+      const std::string fingerprint = report_fingerprint(report);
+      const std::string trace = testutil::read_file(path);
+      std::remove(path.c_str());
+      ASSERT_FALSE(trace.empty());
+      if (!have_baseline) {
+        baseline_report = fingerprint;
+        baseline_trace = trace;
+        have_baseline = true;
+        continue;
+      }
+      EXPECT_EQ(fingerprint, baseline_report)
+          << tag << ": report diverged at shards=" << shards
+          << " lookahead=" << lookahead;
+      EXPECT_EQ(trace, baseline_trace)
+          << tag << ": trace bytes diverged at shards=" << shards
+          << " lookahead=" << lookahead;
+    }
+  }
+}
+
+void expect_scenario_file_lookahead_invariant(const char* file,
+                                              const char* tag) {
+  const ScenarioDoc doc = testutil::load_doc(file);
+  ASSERT_FALSE(doc.scenario.events.empty()) << file;
+  const ClusterConfig config = testutil::scenario_cluster_config(doc);
+  expect_lookahead_invariant(config, 20020623ull, tag);
+}
+
+TEST(ShardLookahead, SlowNodesScenarioIsLookaheadInvariant) {
+  // Slow factors are the delay floor's hairiest input: the plan must use
+  // the scenario-wide minimum factor, not the current one.
+  expect_scenario_file_lookahead_invariant("slow_nodes.scn", "slow");
+}
+
+TEST(ShardLookahead, FlappingLinksScenarioIsLookaheadInvariant) {
+  expect_scenario_file_lookahead_invariant("flapping_links.scn", "flap");
+}
+
+TEST(ShardLookahead, CrashChurnIsLookaheadInvariant) {
+  ClusterConfig config;
+  config.n = 16;
+  config.max_nodes = 17;
+  config.topology.kind = TopologyKind::kGossip;
+  config.topology.digest_size = 16;
+  config.detector.kind = rt::DetectorKind::kChen;
+  config.detector.chen.alpha_ms = 400.0;
+  config.duration_ms = 12'000.0;
+  config.scenario.crash(3'000.0, 5).join(6'000.0, 16).leave(9'000.0, 2);
+  expect_lookahead_invariant(config, 7ull, "churn");
+}
+
+std::int64_t sync_calls(const ClusterReport& report) {
+  std::int64_t calls = 0;
+  for (const obs::PhaseStat& stat : report.profile) {
+    if (stat.phase == "sync") calls += stat.calls;
+  }
+  return calls;
+}
+
+TEST(ShardLookahead, SparseTrafficActuallyCoalesces) {
+  // A heartbeat period many check windows long leaves most exchange
+  // points with nothing in flight; the planner must stretch epochs to
+  // the lookahead cap. The kSync phase times every barrier meet
+  // exactly (always-sampled), so its call count is a direct epoch
+  // counter: the capped run must meet far less often than lookahead=1,
+  // while the report stays field-identical.
+  ClusterConfig config;
+  config.n = 8;
+  config.topology.kind = TopologyKind::kGossip;
+  config.topology.digest_size = 8;
+  config.detector.kind = rt::DetectorKind::kChen;
+  config.detector.chen.alpha_ms = 4'000.0;
+  config.heartbeat_interval_ms = 2'000.0;
+  config.check_interval_ms = 50.0;
+  config.duration_ms = 10'000.0;
+  config.shards = 2;
+  config.obs.profile = true;
+
+  config.lookahead_windows = 1;
+  const ClusterReport dense = run_cluster(config, 11ull);
+  config.lookahead_windows = 32;
+  const ClusterReport sparse = run_cluster(config, 11ull);
+
+  EXPECT_EQ(report_fingerprint(sparse), report_fingerprint(dense));
+  const std::int64_t dense_calls = sync_calls(dense);
+  const std::int64_t sparse_calls = sync_calls(sparse);
+  ASSERT_GT(dense_calls, 0);
+  ASSERT_GT(sparse_calls, 0);
+  // 200 check windows; the dense run meets at every one, the coalesced
+  // run should collapse the idle stretches by several-fold at least.
+  EXPECT_LT(sparse_calls * 3, dense_calls)
+      << "lookahead failed to coalesce: " << sparse_calls << " vs "
+      << dense_calls << " sync scopes";
+}
+
+}  // namespace
+}  // namespace rfd::cluster
