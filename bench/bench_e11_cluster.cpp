@@ -364,7 +364,8 @@ int main(int argc, char** argv) {
     }
     std::sort(files.begin(), files.end());
     Table table({"file", "scenario", "n", "msgs/node/s", "T_D p50",
-                 "T_D p99", "false/node/min", "converged", "agree"});
+                 "T_D p99", "false/node/min", "converged", "agree",
+                 "budget"});
     for (const auto& path : files) {
       cluster::ScenarioDoc doc;
       cluster::DslError err;
@@ -385,6 +386,22 @@ int main(int argc, char** argv) {
       if (doc.duration_ms > 0.0) config.duration_ms = doc.duration_ms;
       config.scenario = doc.scenario;
       const ClusterReport r = cluster::run_cluster(config, 0xd11);
+      // A scenario's optional `budget` header is its QoS contract: the
+      // run must keep the false-suspicion rate and the detection p99
+      // under the file's bounds. CI fails any budgeted row that leaks.
+      const double detect_p99 = r.detection_latency_ms.count() > 0
+                                    ? r.detection_latency_ms.percentile(0.99)
+                                    : std::nan("");
+      bool budget_ok = true;
+      if (doc.budget_max_false_per_node_min >= 0.0 &&
+          r.false_suspicions_per_node_per_min >
+              doc.budget_max_false_per_node_min) {
+        budget_ok = false;
+      }
+      if (doc.budget_max_detect_p99_ms >= 0.0 && std::isfinite(detect_p99) &&
+          detect_p99 > doc.budget_max_detect_p99_ms) {
+        budget_ok = false;
+      }
       table.add_row({path.filename().string(), doc.name, Table::num(r.n),
                      Table::fixed(r.messages_per_node_per_s, 1),
                      fmt_pct_or_dash(r.detection_latency_ms, 0.5),
@@ -392,7 +409,8 @@ int main(int argc, char** argv) {
                      Table::fixed(r.false_suspicions_per_node_per_min, 2),
                      Table::num(r.convergence_ms.count()) + "/" +
                          Table::num(r.disruptions),
-                     Table::yes_no(r.final_agreement)});
+                     Table::yes_no(r.final_agreement),
+                     doc.has_budget() ? Table::yes_no(budget_ok) : "-"});
       json.row("scenario_files")
           .str("file", path.filename().string())
           .str("scenario", doc.name)
@@ -411,7 +429,12 @@ int main(int argc, char** argv) {
                                           ? r.convergence_ms.mean()
                                           : std::nan(""))
           .num("disruptions", static_cast<double>(r.disruptions))
-          .boolean("final_agreement", r.final_agreement);
+          .boolean("final_agreement", r.final_agreement)
+          .boolean("has_budget", doc.has_budget())
+          .boolean("budget_ok", budget_ok)
+          .num("budget_max_false_per_node_min",
+               doc.budget_max_false_per_node_min)
+          .num("budget_max_detect_p99_ms", doc.budget_max_detect_p99_ms);
     }
     table.print("E11d: scenario DSL library (scenarios/*.scn, gossip fabric)");
     std::printf(

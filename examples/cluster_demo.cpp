@@ -28,6 +28,7 @@
 #include "cluster/engine.hpp"
 #include "cluster/scenario_dsl.hpp"
 #include "common/cli.hpp"
+#include "common/shutdown.hpp"
 #include "common/table.hpp"
 
 int main(int argc, char** argv) {
@@ -99,7 +100,18 @@ int main(int argc, char** argv) {
         "heal @24s, delay storm 32-40s, join @44s, silent leave @48s\n\n");
   }
 
+  // Ctrl-C finishes the current window, drains the trace ring and
+  // prints the report over what ran, instead of dying with a torn trace.
+  install_shutdown_handlers();
+  config.stop = &shutdown_flag();
+
   const cluster::ClusterReport r = cluster::run_cluster(config, seed);
+  if (shutdown_requested()) {
+    std::fprintf(stderr,
+                 "cluster_demo: interrupted at %.1fs simulated; report "
+                 "covers the completed window\n",
+                 r.duration_ms / 1000.0);
+  }
 
   Table table({"metric", "value"});
   table.add_row({"messages/node/s", Table::fixed(r.messages_per_node_per_s, 1)});

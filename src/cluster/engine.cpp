@@ -398,6 +398,9 @@ class ClusterEngine {
     }
 
     down_since_.assign(static_cast<std::size_t>(max_nodes_), -1.0);
+    lying_.assign(static_cast<std::size_t>(max_nodes_), 0);
+    lie_delta_.assign(static_cast<std::size_t>(max_nodes_), 0.0);
+    lie_value_.assign(static_cast<std::size_t>(max_nodes_), 0.0);
     for (auto& shard : shards_) {
       for (NodeId i = 0; i < config_.n; ++i) {
         shard->ever_active[static_cast<std::size_t>(i)] = 1;
@@ -568,11 +571,13 @@ class ClusterEngine {
       }
       k_done = k_hi;
     }
-    if (T < config_.duration_ms) {
+    if (!stopped_early_ && T < config_.duration_ms) {
       // Grid-misaligned tail: run the remaining pumps (and any faults)
       // up to the duration. No check tick lands here - same as the old
       // engine - and deliveries arriving past the last tick can no
-      // longer influence any metric, so they stay buffered.
+      // longer influence any metric, so they stay buffered. A stopped
+      // run skips the tail: simulating up to the full horizon is
+      // exactly what the stop flag asked to avoid.
       run_window(shard, config_.duration_ms, k_done + 1);
       if (multi) {
         const obs::ScopedPhase sync(prof, obs::Phase::kSync, true);
@@ -834,6 +839,18 @@ class ClusterEngine {
     ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
     if (node.active()) {
       node.advance_own_counter();
+      std::uint32_t advertised =
+          static_cast<std::uint32_t>(node.own_counter());
+      if (lying_[static_cast<std::size_t>(i)] != 0) {
+        // The lie moves by delta per heartbeat interval while the true
+        // counter keeps its honest +1 underneath; clamping keeps the
+        // advertisement a plausible wire value whatever the delta.
+        double& v = lie_value_[static_cast<std::size_t>(i)];
+        v = std::clamp(v + lie_delta_[static_cast<std::size_t>(i)], 1.0,
+                       static_cast<double>(
+                           std::numeric_limits<std::int32_t>::max()));
+        advertised = static_cast<std::uint32_t>(v);
+      }
       shard.targets_scratch.clear();
       shard.topology->targets(node, rngs_[static_cast<std::size_t>(i)],
                               shard.targets_scratch);
@@ -870,7 +887,7 @@ class ClusterEngine {
         m.payload = take_payload(shard);
         sort_ids(shard, shard.digest_scratch);
         encode_digest(
-            static_cast<std::uint32_t>(node.own_counter()),
+            advertised,
             shard.digest_scratch,
             [&node](NodeId j) {
               return static_cast<std::uint32_t>(node.counter(j));
@@ -1184,6 +1201,27 @@ class ClusterEngine {
         note_fault(shard, index, now);
         shard.network->set_delay_factor(event.node, 1.0);
         break;
+      case FaultKind::kLieStart: {
+        const NodeId j = event.node;
+        RFD_REQUIRE(j >= 0 && j < max_nodes_);
+        note_fault(shard, index, now);
+        if (owns(shard, j)) {
+          lying_[static_cast<std::size_t>(j)] = 1;
+          lie_delta_[static_cast<std::size_t>(j)] = event.factor;
+          // The lie diverges from the current truth, so a jump and a
+          // regress both start from the counter peers last believed.
+          lie_value_[static_cast<std::size_t>(j)] = static_cast<double>(
+              nodes_[static_cast<std::size_t>(j)].own_counter());
+        }
+        break;
+      }
+      case FaultKind::kLieEnd: {
+        const NodeId j = event.node;
+        RFD_REQUIRE(j >= 0 && j < max_nodes_);
+        note_fault(shard, index, now);
+        if (owns(shard, j)) lying_[static_cast<std::size_t>(j)] = 0;
+        break;
+      }
     }
   }
 
@@ -1208,11 +1246,13 @@ class ClusterEngine {
       case FaultKind::kStormStart:
       case FaultKind::kLinkDown:
       case FaultKind::kSlowStart:
+      case FaultKind::kLieStart:
         break;
       case FaultKind::kHeal:
       case FaultKind::kStormEnd:
       case FaultKind::kLinkUp:
       case FaultKind::kSlowEnd:
+      case FaultKind::kLieEnd:
         // Re-convergence is only measurable if the episode actually
         // drove the cluster into disagreement.
         if (!last_agreement_) bump_truth(note.at);
@@ -1291,6 +1331,18 @@ class ClusterEngine {
       snapshot(k_hi, coord_T_, disagreeing);
     }
     plan_hi_ = next_plan(k_hi);
+    if (config_.stop != nullptr && plan_hi_ > k_hi &&
+        config_.stop->load(std::memory_order_relaxed)) {
+      // Graceful stop: truncate the plan at this exchange tick so every
+      // shard exits its epoch loop together (the same release barrier
+      // that publishes plan_hi_ publishes the truncation), and shrink
+      // the round count so the report and rate normalization cover
+      // exactly what ran. finalize() still executes: counters merge,
+      // the trace drains and the footer is written.
+      plan_hi_ = k_hi;
+      rounds_total_ = k_hi;
+      stopped_early_ = true;
+    }
   }
 
   /// Shard 0, after every worker finished simulating: drain the merger,
@@ -1504,6 +1556,11 @@ class ClusterEngine {
         }
       }
     }
+    if (stopped_early_) {
+      // Normalize rates over the time actually simulated, not the
+      // horizon the stop cut short.
+      report_.duration_ms = coord_T_;
+    }
     sync_counters();
     fill_report_from_registry(report_, registry_);
     report_.events_executed = logical_executed(rounds_done_);
@@ -1537,7 +1594,7 @@ class ClusterEngine {
       trace_->write_line(
           obs::JsonLine{}
               .str("type", "end")
-              .num("t", config_.duration_ms)
+              .num("t", report_.duration_ms)
               .integer("events_executed", report_.events_executed)
               .integer("messages_sent", report_.messages_sent)
               .integer("detections", report_.detection_latency_ms.count())
@@ -1587,6 +1644,15 @@ class ClusterEngine {
   std::vector<ClusterNode> nodes_;
   std::vector<Rng> rngs_;
 
+  // Byzantine-ish lying nodes (kLieStart/kLieEnd): the advertised
+  // counter diverges from own_counter() by lie_delta_ per heartbeat
+  // interval while lying_[i] is set. Owner-shard-only writes, like the
+  // node state itself, so shard determinism is preserved; when no lie is
+  // active the pump path is bit-identical to the pre-lie engine.
+  std::vector<char> lying_;
+  std::vector<double> lie_delta_;
+  std::vector<double> lie_value_;
+
   // Coordinator-side scenario bookkeeping (shard replicas carry the
   // window-time truth; these drive the report's QoS aggregation).
   std::vector<double> down_since_;
@@ -1603,6 +1669,10 @@ class ClusterEngine {
   // orders it); everything else cross-thread goes through the atomics.
   std::int64_t rounds_total_ = 0;
   std::int64_t plan_hi_ = 0;
+  /// Set by the coordinator when config_.stop truncated the plan;
+  /// published to the workers by the same barrier as plan_hi_. The tail
+  /// window and the report's duration normalization read it.
+  bool stopped_early_ = false;
   int lookahead_cap_ = 1;
   double min_net_delay_ms_ = 0.0;
   std::unique_ptr<SyncSlot[]> sync_;

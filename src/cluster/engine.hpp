@@ -11,6 +11,7 @@
 // Runs are a pure function of (config, seed).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "cluster/metrics.hpp"
@@ -66,6 +67,12 @@ struct ClusterConfig {
   /// defaults keep everything off; a disabled trace costs the hot path
   /// one predictable branch per instrumentation point.
   obs::Config obs;
+  /// Optional graceful-stop flag (e.g. wired to a SIGINT handler). When
+  /// it reads true at an exchange tick, every shard exits its epoch loop
+  /// at that tick and the run finalizes normally: metrics aggregate, the
+  /// trace ring drains and the end-of-run footer is written, covering
+  /// exactly the rounds that executed. nullptr = run to duration_ms.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Runs one seeded cluster experiment and aggregates cluster QoS.

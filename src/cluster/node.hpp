@@ -381,6 +381,19 @@ class ClusterNode {
   /// engine-side simulation state standing in for a persisted epoch.
   void reset_peers(double now, const std::vector<NodeId>& contacts);
 
+  /// Checkpoint hooks: append this node's complete mutable state (own
+  /// counter, per-peer counters/flags/timestamps, detector instances,
+  /// hot-queue content) to `out` / restore it from a byte span. restore
+  /// assumes a freshly constructed node with the same (id, max_nodes,
+  /// params) - the checkpoint wrapper pins that with a config
+  /// fingerprint - and returns false on a truncated or inconsistent
+  /// payload, leaving the node unfit for use. A restored node continues
+  /// exactly where the saved one stopped: same digests, same suspicion
+  /// verdicts, same detector windows.
+  void save_state(std::vector<std::uint8_t>& out) const;
+  bool restore_state(const std::uint8_t* data, std::size_t size,
+                     std::size_t& consumed);
+
   const PeerRecord& record(NodeId peer) const {
     return records_[static_cast<std::size_t>(peer)];
   }

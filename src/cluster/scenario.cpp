@@ -167,6 +167,28 @@ Scenario& Scenario::slow_end(double at_ms, NodeId node) {
   return *this;
 }
 
+Scenario& Scenario::lie(double at_ms, NodeId node, double delta) {
+  require_time(at_ms);
+  RFD_REQUIRE_MSG(std::isfinite(delta), "lie delta must be finite");
+  FaultEvent e;
+  e.at_ms = at_ms;
+  e.kind = FaultKind::kLieStart;
+  e.node = node;
+  e.factor = delta;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+Scenario& Scenario::lie_end(double at_ms, NodeId node) {
+  require_time(at_ms);
+  FaultEvent e;
+  e.at_ms = at_ms;
+  e.kind = FaultKind::kLieEnd;
+  e.node = node;
+  events.push_back(std::move(e));
+  return *this;
+}
+
 Scenario& Scenario::flapping_link(double from_ms, double to_ms,
                                   double period_ms, double duty,
                                   std::vector<NodeId> a,
@@ -228,6 +250,7 @@ std::optional<ScenarioIssue> Scenario::check() const {
   int open_storms = 0;
   std::vector<std::pair<std::vector<NodeId>, std::vector<NodeId>>> links;
   std::vector<NodeId> slowed;
+  std::vector<NodeId> lying;
   for (const std::size_t index : order) {
     const FaultEvent& e = events[index];
     if (!std::isfinite(e.at_ms) || e.at_ms < 0.0) {
@@ -293,6 +316,21 @@ std::optional<ScenarioIssue> Scenario::check() const {
         slowed.erase(it);
         break;
       }
+      case FaultKind::kLieStart:
+        // Re-lying re-sets the delta; legal, like slow re-slow.
+        if (std::find(lying.begin(), lying.end(), e.node) == lying.end()) {
+          lying.push_back(e.node);
+        }
+        break;
+      case FaultKind::kLieEnd: {
+        const auto it = std::find(lying.begin(), lying.end(), e.node);
+        if (it == lying.end()) {
+          return ScenarioIssue{index,
+                               "lie_end on a node that is not lying"};
+        }
+        lying.erase(it);
+        break;
+      }
       case FaultKind::kCrash:
       case FaultKind::kRecover:
       case FaultKind::kJoin:
@@ -339,6 +377,10 @@ const char* fault_kind_cstr(FaultKind kind) {
       return "slow-start";
     case FaultKind::kSlowEnd:
       return "slow-end";
+    case FaultKind::kLieStart:
+      return "lie-start";
+    case FaultKind::kLieEnd:
+      return "lie-end";
   }
   return "?";
 }
@@ -375,10 +417,12 @@ obs::Record fault_record(const FaultEvent& event, double t) {
             static_cast<std::int64_t>(event.groups[1].size());
       break;
     case FaultKind::kSlowStart:
+    case FaultKind::kLieStart:
       r.a = event.node;
       r.x = event.factor;
       break;
     case FaultKind::kSlowEnd:
+    case FaultKind::kLieEnd:
       r.a = event.node;
       break;
     case FaultKind::kHeal:

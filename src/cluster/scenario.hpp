@@ -50,6 +50,10 @@ enum class FaultKind {
   kLinkUp,       // remove the matching directed block
   kSlowStart,    // slow-but-alive: outbound delay multiplier on `node`
   kSlowEnd,      // restore the node's outbound delay to normal
+  kLieStart,     // Byzantine-ish: node advertises a wrong counter that
+                 // moves by `factor` per heartbeat interval (jump or
+                 // regress instead of the honest +1)
+  kLieEnd,       // node resumes advertising its true counter
 };
 
 struct FaultEvent {
@@ -59,7 +63,7 @@ struct FaultEvent {
   std::vector<std::vector<NodeId>> groups;   // partition; link: {from, to}
   double extra_delay_ms = 0.0;               // storm
   double delay_prob = 1.0;                   // storm
-  double factor = 1.0;                       // slow delay multiplier
+  double factor = 1.0;                       // slow multiplier / lie delta
 
   bool operator==(const FaultEvent&) const = default;
 };
@@ -99,6 +103,13 @@ struct Scenario {
   /// models an overloaded-but-responsive process) until slow_end.
   Scenario& slow(double at_ms, NodeId node, double factor);
   Scenario& slow_end(double at_ms, NodeId node);
+  /// Byzantine-ish wrong heartbeats: from at_ms the node keeps running
+  /// but its *advertised* counter moves by `delta` per heartbeat interval
+  /// instead of the honest +1 (delta > 1 jumps ahead, delta < 0
+  /// regresses, delta == 0 freezes the advertisement). The true counter
+  /// keeps advancing underneath, so after lie_end the node heals itself.
+  Scenario& lie(double at_ms, NodeId node, double delta);
+  Scenario& lie_end(double at_ms, NodeId node);
 
   /// Flapping link between sets `a` and `b`: over [from_ms, to_ms), each
   /// `period_ms` window is up for `duty` of the period then down (both

@@ -365,14 +365,44 @@ struct Parser {
     return true;
   }
 
+  bool budget(const Statement& st) {
+    if (!known_keys(st, {"max_false_per_node_min", "max_detect_p99"})) {
+      return false;
+    }
+    if (st.kvs.empty()) {
+      return fail(err, st.line, st.col,
+                  "budget needs max_false_per_node_min= and/or "
+                  "max_detect_p99=");
+    }
+    if (const KeyVal* kv = find(st, "max_false_per_node_min")) {
+      double value = 0.0;
+      if (!parse_number(st, *kv, value, err)) return false;
+      if (value < 0.0) {
+        return fail(err, st.line, kv->value_col,
+                    "max_false_per_node_min must be >= 0");
+      }
+      doc.budget_max_false_per_node_min = value;
+    }
+    if (const KeyVal* kv = find(st, "max_detect_p99")) {
+      double value = 0.0;
+      if (!parse_number(st, *kv, value, err)) return false;
+      if (value <= 0.0) {
+        return fail(err, st.line, kv->value_col,
+                    "max_detect_p99 must be > 0 ms");
+      }
+      doc.budget_max_detect_p99_ms = value;
+    }
+    return true;
+  }
+
   bool statement(const Statement& st) {
     const std::string& kw = st.keyword;
-    if (kw == "name" || kw == "config") {
+    if (kw == "name" || kw == "config" || kw == "budget") {
       if (saw_fault) {
         return fail(err, st.line, st.col,
                     kw + " must precede all fault statements");
       }
-      return header(st);
+      return kw == "budget" ? budget(st) : header(st);
     }
     saw_fault = true;
     if (kw == "crash") return per_node(st, &Scenario::crash);
@@ -380,6 +410,7 @@ struct Parser {
     if (kw == "join") return per_node(st, &Scenario::join);
     if (kw == "leave") return per_node(st, &Scenario::leave);
     if (kw == "slow_end") return per_node(st, &Scenario::slow_end);
+    if (kw == "lie_end") return per_node(st, &Scenario::lie_end);
     if (kw == "heal") {
       if (!known_keys(st, {"at"})) return false;
       double at = 0.0;
@@ -457,6 +488,21 @@ struct Parser {
         return fail(err, st.line, kv->value_col, "factor must be > 0");
       }
       for (const NodeId node : nodes) doc.scenario.slow(at, node, factor);
+      mark_events(st.line);
+      return true;
+    }
+    if (kw == "lie") {
+      if (!known_keys(st, {"at", "node", "delta"})) return false;
+      double at = 0.0;
+      std::vector<NodeId> nodes;
+      const KeyVal* kv = nullptr;
+      double delta = 0.0;
+      if (!time_at(st, "at", at) || !node_set(st, "node", nodes) ||
+          !required(st, "delta", kv) ||
+          !parse_number(st, *kv, delta, err)) {
+        return false;
+      }
+      for (const NodeId node : nodes) doc.scenario.lie(at, node, delta);
       mark_events(st.line);
       return true;
     }
@@ -750,6 +796,18 @@ std::string serialize_scenario(const ScenarioDoc& doc) {
     }
     out += '\n';
   }
+  if (doc.has_budget()) {
+    out += "budget";
+    if (doc.budget_max_false_per_node_min >= 0.0) {
+      out += " max_false_per_node_min=";
+      append_number(out, doc.budget_max_false_per_node_min);
+    }
+    if (doc.budget_max_detect_p99_ms >= 0.0) {
+      out += " max_detect_p99=";
+      append_number(out, doc.budget_max_detect_p99_ms);
+    }
+    out += '\n';
+  }
   for (const FaultEvent& e : doc.scenario.events) {
     switch (e.kind) {
       case FaultKind::kCrash:
@@ -788,6 +846,12 @@ std::string serialize_scenario(const ScenarioDoc& doc) {
       case FaultKind::kSlowEnd:
         out += "slow_end at=";
         break;
+      case FaultKind::kLieStart:
+        out += "lie at=";
+        break;
+      case FaultKind::kLieEnd:
+        out += "lie_end at=";
+        break;
     }
     append_number(out, e.at_ms);
     switch (e.kind) {
@@ -796,10 +860,15 @@ std::string serialize_scenario(const ScenarioDoc& doc) {
       case FaultKind::kJoin:
       case FaultKind::kLeave:
       case FaultKind::kSlowEnd:
+      case FaultKind::kLieEnd:
         out += " node=" + std::to_string(e.node);
         break;
       case FaultKind::kSlowStart:
         out += " node=" + std::to_string(e.node) + " factor=";
+        append_number(out, e.factor);
+        break;
+      case FaultKind::kLieStart:
+        out += " node=" + std::to_string(e.node) + " delta=";
         append_number(out, e.factor);
         break;
       case FaultKind::kPartition:

@@ -14,6 +14,9 @@
 //
 //   name "bad afternoon"            # optional, must precede faults
 //   config n=48 max_nodes=52 duration=60000 cluster=8
+//   budget max_false_per_node_min=0.5 max_detect_p99=2500
+//                                   # optional QoS budget the run must
+//                                   # meet (enforced by bench_e11 + CI)
 //
 //   crash      at=6000 node=17          # node= accepts sets: 1-3,9
 //   recover    at=9000 node=17
@@ -25,6 +28,8 @@
 //   link_up    at=9000 from=0-7 to=8-15
 //   slow       at=5000 node=3 factor=8      # slow-but-alive
 //   slow_end   at=9000 node=3
+//   lie        at=5000 node=3 delta=-2      # Byzantine-ish wrong counter:
+//   lie_end    at=9000 node=3               # jumps (delta>1) or regresses
 //   storm_on   at=5000 extra=800 prob=0.6
 //   storm_off  at=9000
 //
@@ -71,6 +76,15 @@ struct ScenarioDoc {
   /// Highest node id referenced by any statement; lets loaders size the
   /// id space when the file does not set max_nodes.
   NodeId max_node_ref = -1;
+  /// Optional QoS budget from a `budget` header (< 0 = no bound): the
+  /// run's false-suspicion rate and detection p99 must stay under these
+  /// for the scenario to pass its bench/CI gate.
+  double budget_max_false_per_node_min = -1.0;
+  double budget_max_detect_p99_ms = -1.0;
+  bool has_budget() const {
+    return budget_max_false_per_node_min >= 0.0 ||
+           budget_max_detect_p99_ms >= 0.0;
+  }
   Scenario scenario;
 };
 

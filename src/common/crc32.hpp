@@ -1,0 +1,43 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// Used as the integrity trailer of checkpoint files: cheap enough to run
+// over multi-megabyte snapshots on every periodic save, strong enough to
+// catch the torn/truncated/bit-rotted writes a crash-resume loop must
+// refuse to load. Not a cryptographic MAC and not meant to be one.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rfd {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// One-shot CRC-32 of a byte span (init/final XOR handled internally).
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace rfd

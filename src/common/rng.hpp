@@ -64,6 +64,19 @@ class Rng {
   /// splitting is by tag, so call sites remain order-independent.
   Rng split(std::uint64_t tag) const;
 
+  /// Checkpoint hooks: the complete generator state - the four xoshiro
+  /// words plus the retained split seed. restore_state() makes this
+  /// generator continue the saved stream exactly (including future
+  /// split() children), which is what lets a resumed soak run replay the
+  /// same draws an uninterrupted run would have made.
+  std::array<std::uint64_t, 5> save_state() const {
+    return {state_[0], state_[1], state_[2], state_[3], seed_};
+  }
+  void restore_state(const std::array<std::uint64_t, 5>& s) {
+    state_ = {s[0], s[1], s[2], s[3]};
+    seed_ = s[4];
+  }
+
   /// Fisher-Yates shuffle of a contiguous range.
   template <typename T>
   void shuffle(T* data, std::int64_t size) {

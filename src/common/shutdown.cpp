@@ -1,0 +1,53 @@
+#include "common/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace rfd {
+namespace {
+
+// sig_atomic_t writes are async-signal-safe; volatile keeps the polling
+// loop honest. The std::atomic mirror exists for code that wants a
+// pointer to poll (ClusterConfig::stop); lock-free atomic stores are
+// also signal-safe, so the handler sets both.
+volatile std::sig_atomic_t g_shutdown = 0;
+volatile std::sig_atomic_t g_signal = 0;
+std::atomic<bool> g_shutdown_atomic{false};
+
+extern "C" void rfd_shutdown_handler(int signum) {
+  if (g_shutdown != 0) {
+    // Second signal: the wind-down is taking too long for the operator's
+    // taste. Restore default dispositions so the next one terminates.
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+  g_shutdown = 1;
+  g_signal = signum;
+  g_shutdown_atomic.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  std::signal(SIGINT, &rfd_shutdown_handler);
+  std::signal(SIGTERM, &rfd_shutdown_handler);
+}
+
+bool shutdown_requested() { return g_shutdown != 0; }
+
+void request_shutdown() {
+  g_shutdown = 1;
+  g_shutdown_atomic.store(true, std::memory_order_relaxed);
+}
+
+void reset_shutdown() {
+  g_shutdown = 0;
+  g_signal = 0;
+  g_shutdown_atomic.store(false, std::memory_order_relaxed);
+}
+
+int shutdown_signal() { return static_cast<int>(g_signal); }
+
+const std::atomic<bool>& shutdown_flag() { return g_shutdown_atomic; }
+
+}  // namespace rfd

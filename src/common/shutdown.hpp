@@ -1,0 +1,39 @@
+// Cooperative SIGINT/SIGTERM shutdown for the long-running binaries.
+//
+// The soak runner and the demos want Ctrl-C to mean "finish the current
+// round, flush the trace ring, write the final checkpoint, emit the run
+// footer" - not "die mid-write and leave a torn trace". The handler
+// therefore only sets an async-signal-safe flag; every driver loop polls
+// shutdown_requested() at its round boundary and winds down normally.
+// A second signal while winding down restores the default disposition,
+// so a third Ctrl-C always kills a wedged process.
+#pragma once
+
+#include <atomic>
+
+namespace rfd {
+
+/// Installs SIGINT/SIGTERM handlers that set the shutdown flag. Safe to
+/// call more than once. The first signal sets the flag; the second
+/// restores the default handlers (so the next one terminates).
+void install_shutdown_handlers();
+
+/// Whether a shutdown signal has arrived since the handlers were
+/// installed (or request_shutdown() was called).
+bool shutdown_requested();
+
+/// Sets the flag programmatically - lets tests and drivers exercise the
+/// graceful-wind-down path without raising a real signal.
+void request_shutdown();
+
+/// Clears the flag (test isolation; does not reinstall handlers).
+void reset_shutdown();
+
+/// The signal number that triggered the shutdown (0 if none / manual).
+int shutdown_signal();
+
+/// The flag as a std::atomic - what ClusterConfig::stop wants to point
+/// at. Mirrors shutdown_requested() exactly (the handler sets both).
+const std::atomic<bool>& shutdown_flag();
+
+}  // namespace rfd

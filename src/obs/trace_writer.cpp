@@ -357,6 +357,15 @@ void TraceWriter::format_cold(const Record& r, std::string& out) {
       out += ",\"suspect\":";
       append_int(out, r.c);
       break;
+    case RecordType::kSockErr:
+      out += "{\"type\":\"sock_err\",\"t\":";
+      append_ms(out, r.t);
+      out += ",\"node\":";
+      append_int(out, r.a);
+      field_str(out, "op", r.s);
+      field_int(out, "errno", r.c);
+      if (r.x > 1.0) field_num(out, "count", r.x);
+      break;
     default:
       // Hot types are handled by format(); never reaches here.
       return;

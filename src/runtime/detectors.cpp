@@ -47,6 +47,17 @@ double FixedTimeoutDetector::suspect_deadline() const {
   return last_heartbeat_ + params_.timeout_ms;
 }
 
+void FixedTimeoutDetector::save_state(std::vector<double>& out) const {
+  out.push_back(last_heartbeat_);
+}
+
+bool FixedTimeoutDetector::restore_state(const double*& cursor,
+                                         const double* end) {
+  if (end - cursor < 1) return false;
+  last_heartbeat_ = *cursor++;
+  return true;
+}
+
 ChenAdaptiveDetector::ChenAdaptiveDetector(ChenAdaptiveParams params)
     : params_(params) {
   RFD_REQUIRE(params.window >= 2);
@@ -86,6 +97,29 @@ double ChenAdaptiveDetector::suspect_deadline() const {
     return arrivals_.back() + params_.fallback_timeout_ms;
   }
   return expected_arrival_ + params_.alpha_ms;
+}
+
+void ChenAdaptiveDetector::save_state(std::vector<double>& out) const {
+  out.push_back(expected_arrival_);
+  out.push_back(static_cast<double>(arrivals_.size()));
+  out.insert(out.end(), arrivals_.begin(), arrivals_.end());
+}
+
+bool ChenAdaptiveDetector::restore_state(const double*& cursor,
+                                         const double* end) {
+  if (end - cursor < 2) return false;
+  const double expected = cursor[0];
+  const double count_d = cursor[1];
+  cursor += 2;
+  if (!(count_d >= 0.0) || count_d > static_cast<double>(params_.window)) {
+    return false;
+  }
+  const std::size_t count = static_cast<std::size_t>(count_d);
+  if (static_cast<std::size_t>(end - cursor) < count) return false;
+  expected_arrival_ = expected;
+  arrivals_.assign(cursor, cursor + count);
+  cursor += count;
+  return true;
 }
 
 PhiAccrualDetector::PhiAccrualDetector(PhiAccrualParams params)
@@ -151,6 +185,37 @@ double PhiAccrualDetector::suspect_deadline() const {
   }
   const double stddev = std::max(std::sqrt(var_), params_.min_stddev_ms);
   return last_heartbeat_ + mean_ + stddev * z_threshold_;
+}
+
+void PhiAccrualDetector::save_state(std::vector<double>& out) const {
+  // z_threshold_ is derived from the params at construction; only the
+  // observed-timing state travels.
+  out.push_back(last_heartbeat_);
+  out.push_back(mean_);
+  out.push_back(var_);
+  out.push_back(static_cast<double>(intervals_.size()));
+  out.insert(out.end(), intervals_.begin(), intervals_.end());
+}
+
+bool PhiAccrualDetector::restore_state(const double*& cursor,
+                                       const double* end) {
+  if (end - cursor < 4) return false;
+  const double last = cursor[0];
+  const double mean = cursor[1];
+  const double var = cursor[2];
+  const double count_d = cursor[3];
+  cursor += 4;
+  if (!(count_d >= 0.0) || count_d > static_cast<double>(params_.window)) {
+    return false;
+  }
+  const std::size_t count = static_cast<std::size_t>(count_d);
+  if (static_cast<std::size_t>(end - cursor) < count) return false;
+  last_heartbeat_ = last;
+  mean_ = mean;
+  var_ = var;
+  intervals_.assign(cursor, cursor + count);
+  cursor += count;
+  return true;
 }
 
 std::unique_ptr<PeerDetector> make_detector(const DetectorParams& params) {

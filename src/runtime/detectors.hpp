@@ -22,6 +22,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace rfd::rt {
 
@@ -44,6 +45,17 @@ class PeerDetector {
   virtual double suspect_deadline() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Checkpoint hooks: append the detector's *mutable* timing state to
+  /// `out` (parameters come back from config at reconstruction, derived
+  /// constants are recomputed by the constructor). Variable-length
+  /// windows encode a leading element count, so states concatenate into
+  /// one flat stream. restore_state() consumes from `cursor`, advancing
+  /// it past this detector's slice; it returns false (leaving the
+  /// detector unchanged or partially restored - callers discard it on
+  /// failure) when the stream is truncated or violates the window bound.
+  virtual void save_state(std::vector<double>& out) const = 0;
+  virtual bool restore_state(const double*& cursor, const double* end) = 0;
 };
 
 struct FixedTimeoutParams {
@@ -58,6 +70,8 @@ class FixedTimeoutDetector final : public PeerDetector {
   bool suspects(double now) const override;
   double suspect_deadline() const override;
   std::string name() const override { return "fixed"; }
+  void save_state(std::vector<double>& out) const override;
+  bool restore_state(const double*& cursor, const double* end) override;
 
  private:
   FixedTimeoutParams params_;
@@ -78,6 +92,8 @@ class ChenAdaptiveDetector final : public PeerDetector {
   bool suspects(double now) const override;
   double suspect_deadline() const override;
   std::string name() const override { return "chen"; }
+  void save_state(std::vector<double>& out) const override;
+  bool restore_state(const double*& cursor, const double* end) override;
 
   /// Expected arrival time of the next heartbeat (for diagnostics).
   double expected_arrival() const { return expected_arrival_; }
@@ -103,6 +119,8 @@ class PhiAccrualDetector final : public PeerDetector {
   bool suspects(double now) const override;
   double suspect_deadline() const override;
   std::string name() const override { return "phi"; }
+  void save_state(std::vector<double>& out) const override;
+  bool restore_state(const double*& cursor, const double* end) override;
 
   /// Current suspicion level phi at time `now`.
   double phi(double now) const;

@@ -24,6 +24,45 @@ Rng& Network::src_rng(NodeId from) {
   return src_rngs_[index];
 }
 
+void Network::save_rng_state(
+    std::vector<std::array<std::uint64_t, 5>>& out) const {
+  out.clear();
+  out.reserve(src_rngs_.size() + 1);
+  out.push_back(rng_.save_state());
+  for (const Rng& rng : src_rngs_) out.push_back(rng.save_state());
+}
+
+void Network::restore_rng_state(
+    const std::vector<std::array<std::uint64_t, 5>>& streams) {
+  RFD_REQUIRE_MSG(!streams.empty(),
+                  "network RNG restore needs at least the legacy stream");
+  rng_.restore_state(streams.front());
+  src_rngs_.clear();
+  src_rngs_.reserve(streams.size() - 1);
+  for (std::size_t i = 1; i < streams.size(); ++i) {
+    src_rngs_.emplace_back(0);
+    src_rngs_.back().restore_state(streams[i]);
+  }
+}
+
+void Network::save_accounting(std::int64_t& sent, std::int64_t& dropped,
+                              std::int64_t& partition_dropped,
+                              std::int64_t& link_dropped) const {
+  sent = sent_;
+  dropped = dropped_;
+  partition_dropped = partition_dropped_;
+  link_dropped = link_dropped_;
+}
+
+void Network::restore_accounting(std::int64_t sent, std::int64_t dropped,
+                                 std::int64_t partition_dropped,
+                                 std::int64_t link_dropped) {
+  sent_ = sent;
+  dropped_ = dropped;
+  partition_dropped_ = partition_dropped;
+  link_dropped_ = link_dropped;
+}
+
 double Network::sample_delay(Rng& rng) {
   double delay =
       params_.min_delay_ms + rng.lognormal(params_.jitter_mu,

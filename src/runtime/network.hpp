@@ -110,6 +110,23 @@ class Network {
   /// Drops attributable to directed link blocks (subset of dropped()).
   std::int64_t link_dropped() const { return link_dropped_; }
 
+  /// Checkpoint hooks: the verdict/delay RNG streams (the shared legacy
+  /// stream first, then every lazily created per-source stream) plus the
+  /// sent/dropped accounting. Fault state (partitions, link rules, slow
+  /// factors, storm) is intentionally NOT saved - it is a pure function
+  /// of the scenario timeline, which a resuming driver replays up to the
+  /// checkpoint time. Restoring makes this network draw the exact
+  /// verdict/delay sequence the saved one would have drawn next.
+  void save_rng_state(std::vector<std::array<std::uint64_t, 5>>& out) const;
+  void restore_rng_state(
+      const std::vector<std::array<std::uint64_t, 5>>& streams);
+  void save_accounting(std::int64_t& sent, std::int64_t& dropped,
+                       std::int64_t& partition_dropped,
+                       std::int64_t& link_dropped) const;
+  void restore_accounting(std::int64_t sent, std::int64_t dropped,
+                          std::int64_t partition_dropped,
+                          std::int64_t link_dropped);
+
   /// Attaches the trace sink: when non-null, every drop verdict emits a
   /// "drop" record naming the reason (partition vs loss). Null (the
   /// default) costs one predictable branch per drop.

@@ -1,0 +1,87 @@
+// FlakyTransport: socket-boundary fault injection over any Transport.
+//
+// Wraps an inner transport (typically UdpTransport - SimTransport
+// already has a verdict network of its own) and subjects every datagram
+// to the simulated network's fate machinery *before* it reaches the
+// inner send: random loss, partitions, directed link blocks, slow
+// factors and delay storms all apply, driven by the same scenario DSL
+// fault timeline the simulator runs - so a .scn file written against
+// the sim backend injects the identical fault schedule into real
+// sockets. On top of the Network verdicts it adds duplication (a second
+// copy with an independently drawn delay) - and because held copies are
+// released in delay order rather than send order, jittered delays
+// reorder datagrams exactly the way a congested real path does.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "runtime/event_queue.hpp"
+#include "transport/transport.hpp"
+
+namespace rfd::transport {
+
+struct FlakyParams {
+  /// Verdict/delay model applied at the boundary (loss_prob, delay
+  /// distribution, GST chaos - see rt::NetworkParams).
+  rt::NetworkParams network;
+  /// Probability that a surviving datagram is duplicated; the copy draws
+  /// its own delay (and its own loss verdict), so duplicates reorder.
+  double dup_prob = 0.0;
+};
+
+class FlakyTransport final : public Transport {
+ public:
+  FlakyTransport(std::unique_ptr<Transport> inner, int max_nodes,
+                 std::uint64_t seed, FlakyParams params);
+
+  const char* name() const override { return "flaky"; }
+  void send(NodeId from, NodeId to, const std::uint8_t* data,
+            std::size_t size, double now_ms) override;
+  void poll(double now_ms, std::vector<Delivery>& out) override;
+  TransportCounters counters() const override;
+  rt::Network* fault_network() override { return net_.get(); }
+
+  bool save_state(std::vector<std::uint8_t>& out) const override;
+  bool restore_state(const std::uint8_t* data, std::size_t size) override;
+
+  Transport* inner() { return inner_.get(); }
+
+  /// Forward the trace sink to the injection network (drop records).
+  void set_trace(obs::RecordSink* trace) { net_->set_trace(trace); }
+
+ private:
+  struct Held {
+    double release_at_ms;
+    std::uint64_t seq;
+    NodeId from;
+    NodeId to;
+    std::vector<std::uint8_t> payload;
+    bool operator<(const Held& o) const {
+      if (release_at_ms != o.release_at_ms) {
+        return release_at_ms < o.release_at_ms;
+      }
+      return seq < o.seq;
+    }
+  };
+
+  void advance_clock(double now_ms);
+  void hold(NodeId from, NodeId to, const std::uint8_t* data,
+            std::size_t size, double release_at_ms);
+
+  std::unique_ptr<Transport> inner_;
+  int max_nodes_;
+  rt::EventQueue clock_;  // pure clock for the verdict network
+  std::unique_ptr<rt::Network> net_;
+  Rng dup_rng_;
+  FlakyParams params_;
+  std::set<Held> held_;
+  std::uint64_t seq_ = 0;
+  std::int64_t duplicated_ = 0;
+  // Datagrams accepted by send() - the injection verdicts (and the dup
+  // copies' own verdicts) run through net_, whose sent() therefore
+  // overcounts; counters().sent reports this instead.
+  std::int64_t offered_ = 0;
+};
+
+}  // namespace rfd::transport

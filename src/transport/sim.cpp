@@ -1,0 +1,154 @@
+#include "transport/sim.hpp"
+
+#include <limits>
+
+#include "common/bytes.hpp"
+
+namespace rfd::transport {
+
+namespace {
+// Checkpoint sub-payload tag: catches feeding another transport's bytes
+// (or garbage) into restore_state before any field is interpreted.
+constexpr std::uint32_t kSimStateMagic = 0x53494d54u;  // "SIMT"
+}  // namespace
+
+SimTransport::SimTransport(int max_nodes, std::uint64_t seed,
+                           rt::NetworkParams params)
+    : max_nodes_(max_nodes),
+      net_(std::make_unique<rt::Network>(clock_, seed, params)) {
+  RFD_REQUIRE(max_nodes > 0);
+}
+
+void SimTransport::advance_clock(double now_ms) {
+  // run_until() on an empty queue just advances now() - the network's
+  // GST/storm checks read it; nothing executes.
+  if (now_ms > clock_.now()) clock_.run_until(now_ms);
+}
+
+void SimTransport::send(NodeId from, NodeId to, const std::uint8_t* data,
+                        std::size_t size, double now_ms) {
+  advance_clock(now_ms);
+  const std::optional<double> delay = net_->route(from, to);
+  if (!delay.has_value()) return;  // dropped; Network already accounted
+  InFlight msg;
+  msg.at_ms = now_ms + *delay;
+  msg.seq = seq_++;
+  msg.from = from;
+  msg.to = to;
+  msg.payload.assign(data, data + size);
+  in_flight_.insert(std::move(msg));
+}
+
+void SimTransport::poll(double now_ms, std::vector<Delivery>& out) {
+  advance_clock(now_ms);
+  while (!in_flight_.empty() && in_flight_.begin()->at_ms <= now_ms) {
+    // std::set nodes are immutable in place; extract to move the payload.
+    auto node = in_flight_.extract(in_flight_.begin());
+    InFlight& msg = node.value();
+    Delivery d;
+    d.at_ms = msg.at_ms;
+    d.from = msg.from;
+    d.to = msg.to;
+    d.payload = std::move(msg.payload);
+    out.push_back(std::move(d));
+    ++delivered_;
+  }
+}
+
+double SimTransport::next_delivery_at() const {
+  if (in_flight_.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return in_flight_.begin()->at_ms;
+}
+
+TransportCounters SimTransport::counters() const {
+  TransportCounters c;
+  c.sent = net_->sent();
+  c.dropped = net_->dropped();
+  c.delivered = delivered_;
+  return c;
+}
+
+bool SimTransport::save_state(std::vector<std::uint8_t>& out) const {
+  ByteWriter w(out);
+  w.u32(kSimStateMagic);
+  w.i32(max_nodes_);
+  w.f64(clock_.now());
+  w.u64(seq_);
+  w.i64(delivered_);
+  std::int64_t sent = 0, dropped = 0, part = 0, link = 0;
+  net_->save_accounting(sent, dropped, part, link);
+  w.i64(sent);
+  w.i64(dropped);
+  w.i64(part);
+  w.i64(link);
+  std::vector<std::array<std::uint64_t, 5>> streams;
+  net_->save_rng_state(streams);
+  w.u32(static_cast<std::uint32_t>(streams.size()));
+  for (const auto& s : streams) {
+    for (std::uint64_t word : s) w.u64(word);
+  }
+  w.u32(static_cast<std::uint32_t>(in_flight_.size()));
+  for (const InFlight& msg : in_flight_) {
+    w.f64(msg.at_ms);
+    w.u64(msg.seq);
+    w.i32(msg.from);
+    w.i32(msg.to);
+    w.u32(static_cast<std::uint32_t>(msg.payload.size()));
+    w.bytes(msg.payload.data(), msg.payload.size());
+  }
+  return true;
+}
+
+bool SimTransport::restore_state(const std::uint8_t* data,
+                                 std::size_t size) {
+  ByteReader r(data, size);
+  if (r.u32() != kSimStateMagic) return false;
+  if (r.i32() != max_nodes_) return false;
+  const double clock_now = r.f64();
+  const std::uint64_t seq = r.u64();
+  const std::int64_t delivered = r.i64();
+  const std::int64_t sent = r.i64();
+  const std::int64_t dropped = r.i64();
+  const std::int64_t part = r.i64();
+  const std::int64_t link = r.i64();
+  const std::uint32_t stream_count = r.u32();
+  if (!r.ok() || stream_count == 0 ||
+      stream_count > static_cast<std::uint32_t>(max_nodes_) + 1) {
+    return false;
+  }
+  std::vector<std::array<std::uint64_t, 5>> streams(stream_count);
+  for (auto& s : streams) {
+    for (std::uint64_t& word : s) word = r.u64();
+  }
+  const std::uint32_t flight_count = r.u32();
+  if (!r.ok()) return false;
+  std::set<InFlight> in_flight;
+  for (std::uint32_t i = 0; i < flight_count; ++i) {
+    InFlight msg;
+    msg.at_ms = r.f64();
+    msg.seq = r.u64();
+    msg.from = r.i32();
+    msg.to = r.i32();
+    const std::uint32_t payload_size = r.u32();
+    if (!r.ok() || payload_size > (1u << 24)) return false;
+    msg.payload.resize(payload_size);
+    if (payload_size != 0 &&
+        !r.bytes(msg.payload.data(), payload_size)) {
+      return false;
+    }
+    in_flight.insert(std::move(msg));
+  }
+  if (!r.ok()) return false;
+  // All fields decoded; commit.
+  if (clock_now > clock_.now()) clock_.run_until(clock_now);
+  seq_ = seq;
+  delivered_ = delivered;
+  net_->restore_accounting(sent, dropped, part, link);
+  net_->restore_rng_state(streams);
+  in_flight_ = std::move(in_flight);
+  return true;
+}
+
+}  // namespace rfd::transport

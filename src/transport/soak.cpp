@@ -1,0 +1,883 @@
+#include "transport/soak.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cluster/digest_codec.hpp"
+#include "cluster/node.hpp"
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/shutdown.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_writer.hpp"
+#include "transport/checkpoint.hpp"
+#include "transport/sim.hpp"
+
+namespace rfd::transport {
+
+namespace {
+
+constexpr std::uint32_t kPayloadMagic = 0x4b414f53u;  // "SOAK"
+
+std::uint64_t fnv1a_init() { return 0xcbf29ce484222325ull; }
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size,
+                    std::uint64_t h) {
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double wall_elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Bounds-checked varint read for received payloads. Unlike the engine's
+/// DigestReader (which asserts - its payloads are trusted local memory),
+/// a soak receiver sees bytes that crossed a real socket; a malformed
+/// payload is dropped, never fatal.
+bool safe_varint(const std::uint8_t*& p, const std::uint8_t* end,
+                 std::uint32_t& out) {
+  std::uint32_t value = 0;
+  int shift = 0;
+  while (p != end && shift < 35) {
+    const std::uint8_t byte = *p++;
+    value |= static_cast<std::uint32_t>(byte & 0x7fu)
+             << static_cast<unsigned>(shift);
+    if ((byte & 0x80u) == 0) {
+      out = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+class SoakRunner {
+ public:
+  explicit SoakRunner(const SoakConfig& config)
+      : config_(config),
+        max_nodes_(effective_max_nodes(config)),
+        fingerprint_(soak_config_fingerprint(config)),
+        faults_(config.scenario.sorted()) {
+    build_transport();
+    cluster::NodeParams node_params;
+    node_params.detector = config_.detector;
+    node_params.bootstrap_grace_ms = config_.bootstrap_grace_ms;
+    node_params.hot_transmissions = config_.hot_transmissions;
+    nodes_.reserve(static_cast<std::size_t>(max_nodes_));
+    Rng base(mix_seed(config_.seed, 0x50a4d00ull));
+    for (rt::NodeId i = 0; i < max_nodes_; ++i) {
+      nodes_.emplace_back(i, max_nodes_, node_params);
+      rngs_.push_back(base.split(static_cast<std::uint64_t>(i)));
+    }
+    topology_ = cluster::make_topology(config_.topology, max_nodes_);
+    ever_active_.assign(static_cast<std::size_t>(max_nodes_), 0);
+    truth_active_.assign(static_cast<std::size_t>(max_nodes_), 0);
+    down_since_.assign(static_cast<std::size_t>(max_nodes_), -1.0);
+    lying_.assign(static_cast<std::size_t>(max_nodes_), 0);
+    lie_delta_.assign(static_cast<std::size_t>(max_nodes_), 0.0);
+    lie_value_.assign(static_cast<std::size_t>(max_nodes_), 0.0);
+  }
+
+  static int effective_max_nodes(const SoakConfig& config) {
+    int bound = std::max(config.max_nodes, config.n);
+    for (const cluster::FaultEvent& e : config.scenario.events) {
+      if (e.node >= 0) bound = std::max(bound, e.node + 1);
+      for (const auto& group : e.groups) {
+        for (rt::NodeId id : group) bound = std::max(bound, id + 1);
+      }
+    }
+    return bound;
+  }
+
+  bool run(SoakReport& report, std::string& error) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    RFD_REQUIRE_MSG(config_.n > 0 && config_.n <= max_nodes_,
+                    "soak: n must be in [1, max_nodes]");
+    RFD_REQUIRE_MSG(config_.tick_ms > 0.0, "soak: tick_ms must be > 0");
+    RFD_REQUIRE_MSG(config_.scenario.validate().empty(),
+                    "soak: malformed scenario timeline");
+    if (config_.resume) {
+      if (!restore(error)) return false;
+      resumed_ = true;
+    } else {
+      seed_initial_membership();
+    }
+    open_trace();
+
+    const std::int64_t total_ticks = static_cast<std::int64_t>(
+        std::ceil(config_.duration_ms / config_.tick_ms));
+    const std::int64_t start_tick = tick_;
+    const bool checkpointing =
+        !config_.checkpoint_path.empty() && config_.checkpoint_every_ms > 0.0;
+    double next_checkpoint_ms =
+        checkpointing
+            ? static_cast<double>(start_tick) * config_.tick_ms +
+                  config_.checkpoint_every_ms
+            : std::numeric_limits<double>::infinity();
+
+    std::int64_t ticks_run = 0;
+    for (std::int64_t k = start_tick + 1; k <= total_ticks; ++k) {
+      if (shutdown_requested()) {
+        stopped_ = true;
+        break;
+      }
+      const double now = static_cast<double>(k) * config_.tick_ms;
+      if (!pace(k, start_tick, wall_start, now)) {
+        stopped_ = true;
+        break;
+      }
+      apply_due_faults(now);
+      heartbeats(now);
+      deliver(now);
+      check(now, k);
+      tick_ = k;
+      ++ticks_run;
+      if (trace_ != nullptr && config_.obs.snapshot_every_ticks > 0 &&
+          k % config_.obs.snapshot_every_ticks == 0) {
+        snapshot(now, k);
+      }
+      if (checkpointing && now >= next_checkpoint_ms) {
+        if (!write_checkpoint_now(error)) return false;
+        next_checkpoint_ms = now + config_.checkpoint_every_ms;
+      }
+    }
+
+    if (!config_.checkpoint_path.empty() && ticks_run > 0) {
+      // Final snapshot even without a cadence: a soak that exits
+      // cleanly (or on a signal) always leaves a resumable state.
+      if (!write_checkpoint_now(error)) return false;
+    }
+    finalize(report, ticks_run, wall_start);
+    return true;
+  }
+
+ private:
+  void build_transport() {
+    std::unique_ptr<Transport> base;
+    if (config_.backend == SoakBackend::kSim) {
+      auto sim = std::make_unique<SimTransport>(
+          max_nodes_, mix_seed(config_.seed, 0x7e7a115ull),
+          config_.network);
+      sim_ = sim.get();
+      base = std::move(sim);
+    } else {
+      auto udp = std::make_unique<UdpTransport>(max_nodes_, config_.udp);
+      udp_ = udp.get();
+      base = std::move(udp);
+    }
+    if (config_.flaky) {
+      auto flaky = std::make_unique<FlakyTransport>(
+          std::move(base), max_nodes_, mix_seed(config_.seed, 0xf1a4bull),
+          config_.flaky_params);
+      flaky_ = flaky.get();
+      base = std::move(flaky);
+    }
+    transport_ = std::move(base);
+  }
+
+  void seed_initial_membership() {
+    for (rt::NodeId i = 0; i < max_nodes_; ++i) {
+      nodes_[static_cast<std::size_t>(i)].set_active(i < config_.n);
+    }
+    for (rt::NodeId i = 0; i < config_.n; ++i) {
+      ever_active_[static_cast<std::size_t>(i)] = 1;
+      truth_active_[static_cast<std::size_t>(i)] = 1;
+      for (rt::NodeId j = 0; j < config_.n; ++j) {
+        nodes_[static_cast<std::size_t>(i)].learn_peer(j, 0.0);
+      }
+    }
+  }
+
+  void open_trace() {
+    if (!config_.obs.trace_enabled()) return;
+    trace_ = std::make_unique<obs::TraceWriter>(config_.obs);
+    if (!trace_->ok()) {
+      trace_.reset();
+      return;
+    }
+    if (sim_ != nullptr) sim_->set_trace(trace_.get());
+    if (udp_ != nullptr) udp_->set_trace(trace_.get());
+    if (flaky_ != nullptr) flaky_->set_trace(trace_.get());
+    topology_->set_trace(trace_.get(), nullptr);
+    obs::JsonLine header;
+    header.str("type", "run")
+        .str("mode", "soak")
+        .str("backend", transport_->name())
+        .integer("n", config_.n)
+        .integer("max_nodes", max_nodes_)
+        .num("tick_ms", config_.tick_ms)
+        .num("duration_ms", config_.duration_ms)
+        .integer("seed", static_cast<std::int64_t>(config_.seed))
+        .str("topology", topology_->name())
+        .str("detector", rt::detector_kind_name(config_.detector.kind))
+        .boolean("resume", resumed_)
+        .integer("start_tick", tick_);
+    trace_->write_line(header.finish());
+  }
+
+  /// UDP pacing: park in epoll (draining arrivals as they land) until
+  /// this tick's wall deadline. Returns false when a shutdown signal
+  /// arrived mid-wait. The sim backend runs the grid unpaced.
+  bool pace(std::int64_t k, std::int64_t start_tick,
+            std::chrono::steady_clock::time_point wall_start, double now) {
+    if (udp_ == nullptr) return true;
+    const double target = static_cast<double>(k - start_tick) *
+                          config_.tick_ms * config_.time_scale;
+    for (;;) {
+      if (shutdown_requested()) return false;
+      const double wall = wall_elapsed_ms(wall_start);
+      if (wall >= target) return true;
+      // Bounded slices keep signal response prompt on slow grids.
+      udp_->wait_readable(std::min(target - wall, 50.0));
+      transport_->poll(now, pending_);
+    }
+  }
+
+  void apply_due_faults(double now) {
+    while (fault_cursor_ < faults_.size() &&
+           faults_[fault_cursor_].at_ms <= now) {
+      apply_fault(faults_[fault_cursor_], now);
+      ++fault_cursor_;
+    }
+  }
+
+  std::vector<rt::NodeId> active_contacts() const {
+    std::vector<rt::NodeId> contacts;
+    for (rt::NodeId i = 0; i < max_nodes_; ++i) {
+      if (truth_active_[static_cast<std::size_t>(i)] != 0) {
+        contacts.push_back(i);
+      }
+    }
+    return contacts;
+  }
+
+  void note_fault(const cluster::FaultEvent& event, double now) {
+    if (trace_ != nullptr) trace_->emit(cluster::fault_record(event, now));
+  }
+
+  // Mirrors the engine's fault semantics (cluster/engine.cpp) so a .scn
+  // timeline means the same thing under both drivers; network-shaped
+  // faults go to the transport's verdict network when it has one.
+  void apply_fault(const cluster::FaultEvent& event, double now) {
+    using cluster::FaultKind;
+    const std::size_t j = static_cast<std::size_t>(std::max<rt::NodeId>(
+        0, event.node));
+    switch (event.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kLeave:
+        if (truth_active_[j] == 0) return;
+        note_fault(event, now);
+        truth_active_[j] = 0;
+        down_since_[j] = now;
+        nodes_[j].set_active(false);
+        return;
+      case FaultKind::kRecover:
+        if (ever_active_[j] == 0 || truth_active_[j] != 0) return;
+        note_fault(event, now);
+        truth_active_[j] = 1;
+        down_since_[j] = -1.0;
+        // A restarted process lost its peer memory; reseed from the
+        // currently live membership like a provisioning system would.
+        nodes_[j].reset_peers(now, active_contacts());
+        nodes_[j].set_active(true);
+        return;
+      case FaultKind::kJoin:
+        if (ever_active_[j] != 0) return;
+        note_fault(event, now);
+        ever_active_[j] = 1;
+        truth_active_[j] = 1;
+        nodes_[j].reset_peers(now, active_contacts());
+        nodes_[j].set_active(true);
+        return;
+      case FaultKind::kLieStart:
+        note_fault(event, now);
+        lying_[j] = 1;
+        lie_delta_[j] = event.factor;
+        lie_value_[j] = static_cast<double>(nodes_[j].own_counter());
+        return;
+      case FaultKind::kLieEnd:
+        note_fault(event, now);
+        lying_[j] = 0;
+        return;
+      case FaultKind::kPartition:
+      case FaultKind::kHeal:
+      case FaultKind::kStormStart:
+      case FaultKind::kStormEnd:
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+      case FaultKind::kSlowStart:
+      case FaultKind::kSlowEnd:
+        break;
+    }
+    rt::Network* net = transport_->fault_network();
+    if (net == nullptr) {
+      if (!warned_no_fault_network_ && trace_ != nullptr) {
+        trace_->log_line(LogLevel::kWarn,
+                         "scenario has network faults but the transport "
+                         "has no injection layer (run with --flaky); "
+                         "skipping them");
+      }
+      warned_no_fault_network_ = true;
+      return;
+    }
+    note_fault(event, now);
+    switch (event.kind) {
+      case FaultKind::kPartition:
+        net->set_partition(event.groups);
+        break;
+      case FaultKind::kHeal:
+        net->clear_partition();
+        break;
+      case FaultKind::kStormStart:
+        net->set_storm(event.extra_delay_ms, event.delay_prob);
+        break;
+      case FaultKind::kStormEnd:
+        net->clear_storm();
+        break;
+      case FaultKind::kLinkDown:
+        net->add_link_block(event.groups[0], event.groups[1]);
+        break;
+      case FaultKind::kLinkUp:
+        net->remove_link_block(event.groups[0], event.groups[1]);
+        break;
+      case FaultKind::kSlowStart:
+        net->set_delay_factor(event.node, event.factor);
+        break;
+      case FaultKind::kSlowEnd:
+        net->set_delay_factor(event.node, 1.0);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void heartbeats(double now) {
+    for (rt::NodeId i = 0; i < max_nodes_; ++i) {
+      cluster::ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
+      if (!node.active()) continue;
+      node.advance_own_counter();
+      std::uint32_t advertised =
+          static_cast<std::uint32_t>(node.own_counter());
+      if (lying_[static_cast<std::size_t>(i)] != 0) {
+        double& v = lie_value_[static_cast<std::size_t>(i)];
+        v = std::clamp(
+            v + lie_delta_[static_cast<std::size_t>(i)], 1.0,
+            static_cast<double>(std::numeric_limits<std::int32_t>::max()));
+        advertised = static_cast<std::uint32_t>(v);
+      }
+      targets_scratch_.clear();
+      topology_->targets(node, rngs_[static_cast<std::size_t>(i)],
+                         targets_scratch_);
+      for (rt::NodeId target : targets_scratch_) {
+        digest_scratch_.clear();
+        topology_->digest(node, target, digest_scratch_);
+        std::sort(digest_scratch_.begin(), digest_scratch_.end());
+        payload_scratch_.clear();
+        cluster::encode_digest(
+            advertised, digest_scratch_,
+            [&node](rt::NodeId id) {
+              return static_cast<std::uint32_t>(node.counter(id));
+            },
+            payload_scratch_);
+        transport_->send(i, target, payload_scratch_.data(),
+                         payload_scratch_.size(), now);
+        if (trace_ != nullptr) {
+          obs::Record r;
+          r.type = obs::RecordType::kHbSend;
+          r.t = now;
+          r.a = i;
+          r.b = target;
+          r.c = static_cast<std::int64_t>(digest_scratch_.size()) + 1;
+          trace_->emit(r);
+        }
+      }
+    }
+  }
+
+  void deliver(double now) {
+    transport_->poll(now, pending_);
+    for (const Delivery& d : pending_) {
+      if (d.to < 0 || d.to >= max_nodes_) continue;
+      cluster::ClusterNode& node = nodes_[static_cast<std::size_t>(d.to)];
+      if (!node.active()) continue;  // crashed sockets still receive; drop
+      const std::uint8_t* p = d.payload.data();
+      const std::uint8_t* end = p + d.payload.size();
+      std::uint32_t own = 0;
+      std::uint32_t count = 0;
+      if (!safe_varint(p, end, own) || !safe_varint(p, end, count) ||
+          count > static_cast<std::uint32_t>(max_nodes_) * 2u) {
+        continue;  // corrupt payload off the wire: drop, never crash
+      }
+      std::int64_t advances = 0;
+      if (node.observe(d.from, own, d.at_ms).advanced) ++advances;
+      rt::NodeId id = 0;
+      bool ok = true;
+      for (std::uint32_t e = 0; e < count; ++e) {
+        std::uint32_t gap = 0;
+        std::uint32_t counter = 0;
+        if (!safe_varint(p, end, gap) || !safe_varint(p, end, counter)) {
+          ok = false;
+          break;
+        }
+        id += static_cast<rt::NodeId>(gap);
+        if (id < 0 || id >= max_nodes_) {
+          ok = false;
+          break;
+        }
+        if (node.observe(id, counter, d.at_ms).advanced) ++advances;
+      }
+      if (!ok) continue;
+      if (trace_ != nullptr) {
+        obs::Record r;
+        r.type = obs::RecordType::kHbRecv;
+        r.t = d.at_ms;
+        r.a = d.to;
+        r.b = d.from;
+        r.c = static_cast<std::int64_t>(count) + 1;
+        r.x = static_cast<double>(advances);
+        trace_->emit(r);
+      }
+    }
+    pending_.clear();
+  }
+
+  void check(double now, std::int64_t tick) {
+    (void)tick;
+    for (rt::NodeId i = 0; i < max_nodes_; ++i) {
+      cluster::ClusterNode& node = nodes_[static_cast<std::size_t>(i)];
+      if (!node.active()) continue;
+      for (rt::NodeId j = 0; j < max_nodes_; ++j) {
+        if (j == i || !node.knows(j)) continue;
+        const bool verdict = node.suspects(j, now);
+        if (verdict == node.is_suspected(j)) continue;
+        node.set_suspected(j, verdict, verdict ? now : -1.0);
+        const std::size_t pj = static_cast<std::size_t>(j);
+        if (verdict) {
+          ++raises_;
+          if (truth_active_[pj] != 0) {
+            ++false_suspicions_;
+          } else if (down_since_[pj] >= 0.0) {
+            detection_samples_.push_back(now - down_since_[pj]);
+          }
+          if (trace_ != nullptr) {
+            obs::Record r;
+            r.type = obs::RecordType::kSuspect;
+            r.t = now;
+            r.a = i;
+            r.b = j;
+            r.c = truth_active_[pj] != 0 ? 0 : 1;
+            trace_->emit(r);
+          }
+        } else {
+          ++clears_;
+          if (trace_ != nullptr) {
+            obs::Record r;
+            r.type = obs::RecordType::kClear;
+            r.t = now;
+            r.a = i;
+            r.b = j;
+            trace_->emit(r);
+          }
+        }
+      }
+    }
+  }
+
+  void snapshot(double now, std::int64_t tick) {
+    const TransportCounters c = transport_->counters();
+    registry_.gauge("transport.sent").set(static_cast<double>(c.sent));
+    registry_.gauge("transport.delivered")
+        .set(static_cast<double>(c.delivered));
+    registry_.gauge("transport.dropped").set(static_cast<double>(c.dropped));
+    registry_.gauge("transport.duplicated")
+        .set(static_cast<double>(c.duplicated));
+    registry_.gauge("transport.queue_drops")
+        .set(static_cast<double>(c.queue_drops));
+    registry_.gauge("transport.retries").set(static_cast<double>(c.retries));
+    registry_.gauge("transport.sock_errors")
+        .set(static_cast<double>(c.sock_errors));
+    registry_.gauge("soak.raises").set(static_cast<double>(raises_));
+    registry_.gauge("soak.clears").set(static_cast<double>(clears_));
+    registry_.gauge("soak.false_suspicions")
+        .set(static_cast<double>(false_suspicions_));
+    registry_.gauge("soak.checkpoints")
+        .set(static_cast<double>(checkpoints_written_));
+    registry_.snapshot(*trace_, now, tick);
+  }
+
+  void serialize(std::vector<std::uint8_t>& out) const {
+    ByteWriter w(out);
+    w.u32(kPayloadMagic);
+    w.i32(config_.n);
+    w.i32(max_nodes_);
+    std::vector<std::uint8_t> node_bytes;
+    for (const cluster::ClusterNode& node : nodes_) {
+      node_bytes.clear();
+      node.save_state(node_bytes);
+      w.u32(static_cast<std::uint32_t>(node_bytes.size()));
+      w.bytes(node_bytes.data(), node_bytes.size());
+    }
+    for (const Rng& rng : rngs_) {
+      for (std::uint64_t word : rng.save_state()) w.u64(word);
+    }
+    for (int i = 0; i < max_nodes_; ++i) {
+      const std::size_t p = static_cast<std::size_t>(i);
+      w.u8(static_cast<std::uint8_t>(ever_active_[p]));
+      w.u8(static_cast<std::uint8_t>(truth_active_[p]));
+      w.f64(down_since_[p]);
+      w.u8(static_cast<std::uint8_t>(lying_[p]));
+      w.f64(lie_delta_[p]);
+      w.f64(lie_value_[p]);
+    }
+    w.u32(static_cast<std::uint32_t>(fault_cursor_));
+    w.i64(raises_);
+    w.i64(clears_);
+    w.i64(false_suspicions_);
+    w.u32(static_cast<std::uint32_t>(detection_samples_.size()));
+    for (double s : detection_samples_) w.f64(s);
+    std::vector<std::uint8_t> transport_bytes;
+    const bool saved = transport_->save_state(transport_bytes);
+    w.u8(saved ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(transport_bytes.size()));
+    w.bytes(transport_bytes.data(), transport_bytes.size());
+  }
+
+  bool write_checkpoint_now(std::string& error) {
+    if (config_.checkpoint_path.empty()) return true;
+    CheckpointData data;
+    data.config_fingerprint = fingerprint_;
+    data.tick = tick_;
+    data.now_ms = static_cast<double>(tick_) * config_.tick_ms;
+    serialize(data.payload);
+    if (!write_checkpoint(config_.checkpoint_path, data, error)) {
+      return false;
+    }
+    ++checkpoints_written_;
+    return true;
+  }
+
+  bool restore(std::string& error) {
+    CheckpointData data;
+    if (!read_checkpoint(config_.checkpoint_path, fingerprint_, data,
+                         error)) {
+      return false;
+    }
+    ByteReader r(data.payload.data(), data.payload.size());
+    if (r.u32() != kPayloadMagic) {
+      error = "checkpoint payload is not a soak snapshot";
+      return false;
+    }
+    if (r.i32() != config_.n || r.i32() != max_nodes_) {
+      error = "checkpoint node counts do not match this configuration";
+      return false;
+    }
+    for (cluster::ClusterNode& node : nodes_) {
+      const std::uint32_t len = r.u32();
+      if (!r.ok() || len > r.remaining()) {
+        error = "checkpoint truncated in node state";
+        return false;
+      }
+      std::vector<std::uint8_t> node_bytes(len);
+      if (len != 0 && !r.bytes(node_bytes.data(), len)) {
+        error = "checkpoint truncated in node state";
+        return false;
+      }
+      std::size_t consumed = 0;
+      if (!node.restore_state(node_bytes.data(), node_bytes.size(),
+                              consumed) ||
+          consumed != node_bytes.size()) {
+        error = "checkpoint node state is inconsistent";
+        return false;
+      }
+    }
+    for (Rng& rng : rngs_) {
+      std::array<std::uint64_t, 5> state{};
+      for (std::uint64_t& word : state) word = r.u64();
+      rng.restore_state(state);
+    }
+    for (int i = 0; i < max_nodes_; ++i) {
+      const std::size_t p = static_cast<std::size_t>(i);
+      ever_active_[p] = static_cast<char>(r.u8());
+      truth_active_[p] = static_cast<char>(r.u8());
+      down_since_[p] = r.f64();
+      lying_[p] = static_cast<char>(r.u8());
+      lie_delta_[p] = r.f64();
+      lie_value_[p] = r.f64();
+    }
+    const std::uint32_t cursor = r.u32();
+    raises_ = r.i64();
+    clears_ = r.i64();
+    false_suspicions_ = r.i64();
+    const std::uint32_t sample_count = r.u32();
+    if (!r.ok() || cursor > faults_.size() ||
+        sample_count > (1u << 24)) {
+      error = "checkpoint bookkeeping is inconsistent";
+      return false;
+    }
+    fault_cursor_ = cursor;
+    detection_samples_.resize(sample_count);
+    for (double& s : detection_samples_) s = r.f64();
+    const bool transport_saved = r.u8() != 0;
+    const std::uint32_t transport_len = r.u32();
+    if (!r.ok() || transport_len > r.remaining()) {
+      error = "checkpoint truncated in transport state";
+      return false;
+    }
+    std::vector<std::uint8_t> transport_bytes(transport_len);
+    if (transport_len != 0 &&
+        !r.bytes(transport_bytes.data(), transport_len)) {
+      error = "checkpoint truncated in transport state";
+      return false;
+    }
+    if (!r.ok()) {
+      error = "checkpoint payload truncated";
+      return false;
+    }
+    if (transport_saved &&
+        !transport_->restore_state(transport_bytes.data(),
+                                   transport_bytes.size())) {
+      error = "checkpoint transport state is inconsistent";
+      return false;
+    }
+    // Re-apply the faults the saved run had already consumed that live
+    // outside the checkpoint: network fault state (partitions, storms,
+    // blocks, slow factors) is deliberately not serialized - replaying
+    // the timeline prefix against the fresh verdict network rebuilds it.
+    replay_network_faults(fault_cursor_);
+    tick_ = data.tick;
+    return true;
+  }
+
+  void replay_network_faults(std::size_t upto) {
+    using cluster::FaultKind;
+    rt::Network* net = transport_->fault_network();
+    if (net == nullptr) return;
+    for (std::size_t i = 0; i < upto; ++i) {
+      const cluster::FaultEvent& event = faults_[i];
+      switch (event.kind) {
+        case FaultKind::kPartition:
+          net->set_partition(event.groups);
+          break;
+        case FaultKind::kHeal:
+          net->clear_partition();
+          break;
+        case FaultKind::kStormStart:
+          net->set_storm(event.extra_delay_ms, event.delay_prob);
+          break;
+        case FaultKind::kStormEnd:
+          net->clear_storm();
+          break;
+        case FaultKind::kLinkDown:
+          net->add_link_block(event.groups[0], event.groups[1]);
+          break;
+        case FaultKind::kLinkUp:
+          net->remove_link_block(event.groups[0], event.groups[1]);
+          break;
+        case FaultKind::kSlowStart:
+          net->set_delay_factor(event.node, event.factor);
+          break;
+        case FaultKind::kSlowEnd:
+          net->set_delay_factor(event.node, 1.0);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void finalize(SoakReport& report, std::int64_t ticks_run,
+                std::chrono::steady_clock::time_point wall_start) {
+    report.backend = soak_backend_name(config_.backend);
+    if (config_.flaky) report.backend += "+flaky";
+    report.n = config_.n;
+    report.max_nodes = max_nodes_;
+    report.sim_ms = static_cast<double>(tick_) * config_.tick_ms;
+    report.ticks_run = ticks_run;
+    report.transport = transport_->counters();
+    report.raises = raises_;
+    report.clears = clears_;
+    report.false_suspicions = false_suspicions_;
+    for (double s : detection_samples_) report.detection.add(s);
+    report.missed = 0;
+    report.final_agreement = true;
+    for (rt::NodeId i = 0; i < max_nodes_; ++i) {
+      if (truth_active_[static_cast<std::size_t>(i)] == 0) continue;
+      const cluster::ClusterNode& node =
+          nodes_[static_cast<std::size_t>(i)];
+      for (rt::NodeId j = 0; j < max_nodes_; ++j) {
+        if (j == i || ever_active_[static_cast<std::size_t>(j)] == 0) {
+          continue;
+        }
+        const bool down = truth_active_[static_cast<std::size_t>(j)] == 0;
+        const bool flagged = node.knows(j) && node.is_suspected(j);
+        if (down && !flagged) {
+          ++report.missed;
+          report.final_agreement = false;
+        } else if (!down && flagged) {
+          report.final_agreement = false;
+        }
+      }
+    }
+    report.checkpoints_written = checkpoints_written_;
+    report.resumed = resumed_;
+    report.stopped_by_signal = stopped_;
+    report.wall_ms = wall_elapsed_ms(wall_start);
+    report.outcome_fingerprint = outcome_fingerprint(report);
+    if (trace_ != nullptr) {
+      obs::JsonLine footer;
+      footer.str("type", "end")
+          .num("t", report.sim_ms)
+          .integer("ticks", tick_)
+          .integer("raises", raises_)
+          .integer("clears", clears_)
+          .integer("false", false_suspicions_)
+          .integer("missed", report.missed)
+          .boolean("agreement", report.final_agreement)
+          .boolean("signal", stopped_)
+          .integer("checkpoints", checkpoints_written_);
+      trace_->write_line(footer.finish());
+      trace_->flush();
+      report.trace_records = trace_->written_records();
+      report.trace_dropped = trace_->dropped();
+      trace_->close();
+    }
+  }
+
+  std::uint64_t outcome_fingerprint(const SoakReport& report) const {
+    std::vector<std::uint8_t> blob;
+    ByteWriter w(blob);
+    w.i64(tick_);
+    w.i64(raises_);
+    w.i64(clears_);
+    w.i64(false_suspicions_);
+    w.i64(report.missed);
+    w.u8(report.final_agreement ? 1 : 0);
+    w.i64(report.transport.sent);
+    w.i64(report.transport.delivered);
+    w.i64(report.transport.dropped);
+    w.i64(report.transport.duplicated);
+    for (double s : detection_samples_) w.f64(s);
+    return fnv1a(blob.data(), blob.size(), fnv1a_init());
+  }
+
+  SoakConfig config_;
+  int max_nodes_;
+  std::uint64_t fingerprint_;
+  std::vector<cluster::FaultEvent> faults_;
+  std::size_t fault_cursor_ = 0;
+
+  std::unique_ptr<Transport> transport_;
+  SimTransport* sim_ = nullptr;
+  UdpTransport* udp_ = nullptr;
+  FlakyTransport* flaky_ = nullptr;
+
+  std::vector<cluster::ClusterNode> nodes_;
+  std::vector<Rng> rngs_;
+  std::unique_ptr<cluster::Topology> topology_;
+  std::vector<char> ever_active_;
+  std::vector<char> truth_active_;
+  std::vector<double> down_since_;
+  std::vector<char> lying_;
+  std::vector<double> lie_delta_;
+  std::vector<double> lie_value_;
+
+  std::int64_t tick_ = 0;  // last completed tick
+  std::int64_t raises_ = 0;
+  std::int64_t clears_ = 0;
+  std::int64_t false_suspicions_ = 0;
+  std::vector<double> detection_samples_;
+  int checkpoints_written_ = 0;
+  bool resumed_ = false;
+  bool stopped_ = false;
+  bool warned_no_fault_network_ = false;
+
+  std::unique_ptr<obs::TraceWriter> trace_;
+  obs::Registry registry_;
+
+  std::vector<rt::NodeId> targets_scratch_;
+  std::vector<rt::NodeId> digest_scratch_;
+  std::vector<std::uint8_t> payload_scratch_;
+  std::vector<Delivery> pending_;
+};
+
+}  // namespace
+
+const char* soak_backend_name(SoakBackend backend) {
+  return backend == SoakBackend::kSim ? "sim" : "udp";
+}
+
+std::uint64_t soak_config_fingerprint(const SoakConfig& config) {
+  std::vector<std::uint8_t> blob;
+  ByteWriter w(blob);
+  w.u32(kPayloadMagic);
+  w.u8(config.backend == SoakBackend::kSim ? 0 : 1);
+  w.u8(config.flaky ? 1 : 0);
+  w.i32(config.n);
+  w.i32(SoakRunner::effective_max_nodes(config));
+  w.f64(config.tick_ms);
+  w.f64(config.bootstrap_grace_ms);
+  w.i32(config.hot_transmissions);
+  w.u64(config.seed);
+  w.u8(static_cast<std::uint8_t>(config.topology.kind));
+  w.i32(config.topology.ring_successors);
+  w.i32(config.topology.gossip_fanout);
+  w.f64(config.topology.gossip_resurrect_prob);
+  w.i32(config.topology.digest_size);
+  w.i32(config.topology.cluster_size);
+  w.u8(static_cast<std::uint8_t>(config.detector.kind));
+  w.f64(config.detector.fixed.timeout_ms);
+  w.i32(config.detector.chen.window);
+  w.f64(config.detector.chen.alpha_ms);
+  w.f64(config.detector.chen.fallback_timeout_ms);
+  w.i32(config.detector.phi.window);
+  w.f64(config.detector.phi.threshold);
+  w.f64(config.detector.phi.min_stddev_ms);
+  w.f64(config.detector.phi.fallback_timeout_ms);
+  auto put_network = [&w](const rt::NetworkParams& net) {
+    w.f64(net.min_delay_ms);
+    w.f64(net.jitter_mu);
+    w.f64(net.jitter_sigma);
+    w.f64(net.loss_prob);
+    w.f64(net.gst_ms);
+    w.f64(net.pre_gst_extra_ms);
+    w.f64(net.pre_gst_chaos_prob);
+  };
+  put_network(config.network);
+  put_network(config.flaky_params.network);
+  w.f64(config.flaky_params.dup_prob);
+  const std::vector<cluster::FaultEvent> sorted = config.scenario.sorted();
+  w.u32(static_cast<std::uint32_t>(sorted.size()));
+  for (const cluster::FaultEvent& e : sorted) {
+    w.f64(e.at_ms);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.i32(e.node);
+    w.u32(static_cast<std::uint32_t>(e.groups.size()));
+    for (const auto& group : e.groups) {
+      w.u32(static_cast<std::uint32_t>(group.size()));
+      for (rt::NodeId id : group) w.i32(id);
+    }
+    w.f64(e.extra_delay_ms);
+    w.f64(e.delay_prob);
+    w.f64(e.factor);
+  }
+  return fnv1a(blob.data(), blob.size(), fnv1a_init());
+}
+
+bool run_soak(const SoakConfig& config, SoakReport& report,
+              std::string& error) {
+  SoakRunner runner(config);
+  return runner.run(report, error);
+}
+
+}  // namespace rfd::transport

@@ -1,0 +1,97 @@
+// Transport abstraction for the heartbeat send/receive path.
+//
+// The cluster engine simulates its network inline (conservative parallel
+// DES - see cluster/engine.cpp); the soak driver instead pushes opaque
+// datagrams through this interface, which has three implementations:
+//
+//   SimTransport   (transport/sim.hpp)   - the simulated partially
+//     synchronous network behind a datagram API: deterministic, owns a
+//     logical clock, fully checkpointable (in-flight buffer + RNG
+//     streams round-trip byte-exactly).
+//   UdpTransport   (transport/udp.hpp)   - real non-blocking UDP sockets
+//     on epoll, batched recvmmsg/sendmmsg, bounded send queue with drop
+//     accounting and EAGAIN/ENOBUFS retry-with-backoff.
+//   FlakyTransport (transport/flaky.hpp) - composable wrapper injecting
+//     loss / duplication / reordering / extra delay at the socket
+//     boundary, driven by the same scenario fault surface the simulator
+//     uses - so one .scn file exercises both backends.
+//
+// The driver owns the clock: `now_ms` on send()/poll() is driver time
+// (simulation ms for the sim backend, wall-clock ms since run start for
+// UDP). A transport never calls back into the driver; deliveries are
+// pulled with poll(), which keeps the soak loop single-threaded and the
+// sim backend deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/network.hpp"
+
+namespace rfd::transport {
+
+using NodeId = rt::NodeId;
+
+/// Uniform counters every backend maintains; the soak runner snapshots
+/// them into its obs::Registry (transport.* metric names) and the final
+/// report.
+struct TransportCounters {
+  std::int64_t sent = 0;         // datagrams accepted by send()
+  std::int64_t delivered = 0;    // datagrams surfaced by poll()
+  std::int64_t dropped = 0;      // injected verdict drops (loss/partition)
+  std::int64_t duplicated = 0;   // flaky duplicates created
+  std::int64_t queue_drops = 0;  // bounded send-queue overflow drops
+  std::int64_t retries = 0;      // EAGAIN/ENOBUFS retry attempts
+  std::int64_t sock_errors = 0;  // socket-level errors observed
+};
+
+/// One received datagram: who sent it, when it surfaced on the driver's
+/// clock, and the opaque payload bytes.
+struct Delivery {
+  double at_ms = 0.0;
+  NodeId from = -1;
+  NodeId to = -1;
+  std::vector<std::uint8_t> payload;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Hands one datagram to the transport at driver time `now_ms`.
+  /// Delivery (or loss) is decided by the backend; send() never blocks.
+  virtual void send(NodeId from, NodeId to, const std::uint8_t* data,
+                    std::size_t size, double now_ms) = 0;
+
+  /// Appends every datagram due by `now_ms` to `out`, in a deterministic
+  /// order for the sim backend (arrival time, then send sequence).
+  virtual void poll(double now_ms, std::vector<Delivery>& out) = 0;
+
+  virtual TransportCounters counters() const = 0;
+
+  /// The scenario fault surface: backends carrying a simulated verdict
+  /// network (sim, flaky) expose it so partitions / loss / slow factors /
+  /// storms from a .scn timeline apply at this boundary. Raw transports
+  /// (udp) return nullptr - wrap them in FlakyTransport for faults.
+  virtual rt::Network* fault_network() { return nullptr; }
+
+  /// Checkpoint hooks. Sim-backed transports serialize their in-flight
+  /// buffer, send sequence and RNG streams and return true; wall-clock
+  /// transports return false (in-flight UDP datagrams die with the
+  /// process - a resumed run simply re-heartbeats, which the protocol
+  /// tolerates by design). restore_state() returns false on a payload
+  /// that is truncated or from a different configuration.
+  virtual bool save_state(std::vector<std::uint8_t>& out) const {
+    (void)out;
+    return false;
+  }
+  virtual bool restore_state(const std::uint8_t* data, std::size_t size) {
+    (void)data;
+    (void)size;
+    return false;
+  }
+};
+
+}  // namespace rfd::transport

@@ -1,0 +1,293 @@
+#include "transport/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace rfd::transport {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x52464448u;  // "RFDH"
+constexpr std::size_t kHeaderBytes = 12;            // magic + from + to
+constexpr std::size_t kMaxDatagram = 2048;          // digests are small
+
+void put_header(std::uint8_t* p, NodeId from, NodeId to) {
+  const std::uint32_t fields[3] = {kFrameMagic,
+                                   static_cast<std::uint32_t>(from),
+                                   static_cast<std::uint32_t>(to)};
+  std::memcpy(p, fields, kHeaderBytes);
+}
+
+bool read_header(const std::uint8_t* p, std::size_t size, NodeId& from,
+                 NodeId& to) {
+  if (size < kHeaderBytes) return false;
+  std::uint32_t fields[3];
+  std::memcpy(fields, p, kHeaderBytes);
+  if (fields[0] != kFrameMagic) return false;
+  from = static_cast<NodeId>(fields[1]);
+  to = static_cast<NodeId>(fields[2]);
+  return true;
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(int max_nodes, UdpParams params)
+    : params_(params), max_nodes_(max_nodes) {
+  RFD_REQUIRE(max_nodes > 0 && max_nodes < 4096);
+  RFD_REQUIRE(params.send_queue_cap > 0);
+  RFD_REQUIRE(params.batch > 0 && params.batch <= 1024);
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  RFD_REQUIRE_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  fds_.resize(static_cast<std::size_t>(max_nodes), -1);
+  for (int i = 0; i < max_nodes; ++i) {
+    const int fd = socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+    RFD_REQUIRE_MSG(fd >= 0, "socket() failed");
+    if (params_.socket_buffer_bytes > 0) {
+      // Best effort; the kernel clamps to its limits.
+      setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &params_.socket_buffer_bytes,
+                 sizeof(int));
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &params_.socket_buffer_bytes,
+                 sizeof(int));
+    }
+    sockaddr_in addr = loopback_addr(
+        static_cast<std::uint16_t>(params_.base_port + i));
+    RFD_REQUIRE_MSG(
+        bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+        "bind() failed - is the base port range free?");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<std::uint32_t>(i);
+    RFD_REQUIRE_MSG(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                    "epoll_ctl(ADD) failed");
+    fds_[static_cast<std::size_t>(i)] = fd;
+  }
+  recv_bufs_.resize(static_cast<std::size_t>(params_.batch));
+  for (auto& buf : recv_bufs_) buf.resize(kMaxDatagram);
+}
+
+UdpTransport::~UdpTransport() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+void UdpTransport::note_sock_error(NodeId node, const char* op, int err,
+                                   double now_ms) {
+  ++counters_.sock_errors;
+  if (trace_ == nullptr) return;
+  if (op == last_err_op_ && err == last_err_errno_ &&
+      node == last_err_node_) {
+    // Fold the repeat; it flushes with a count when the error changes.
+    ++folded_errors_;
+    return;
+  }
+  if (folded_errors_ > 0) {
+    obs::Record flush;
+    flush.t = now_ms;
+    flush.type = obs::RecordType::kSockErr;
+    flush.a = last_err_node_;
+    flush.c = last_err_errno_;
+    flush.s = last_err_op_;
+    flush.x = static_cast<double>(folded_errors_);
+    trace_->emit(flush);
+  }
+  last_err_op_ = op;
+  last_err_errno_ = err;
+  last_err_node_ = node;
+  folded_errors_ = 1;
+  obs::Record r;
+  r.t = now_ms;
+  r.type = obs::RecordType::kSockErr;
+  r.a = node;
+  r.c = err;
+  r.s = op;
+  r.x = 1.0;
+  trace_->emit(r);
+  folded_errors_ = 0;
+}
+
+void UdpTransport::send(NodeId from, NodeId to, const std::uint8_t* data,
+                        std::size_t size, double now_ms) {
+  if (from < 0 || from >= max_nodes_ || to < 0 || to >= max_nodes_) return;
+  RFD_REQUIRE_MSG(size + kHeaderBytes <= kMaxDatagram,
+                  "payload exceeds the transport's datagram bound");
+  if (static_cast<int>(send_queue_.size()) >= params_.send_queue_cap) {
+    // Bounded queue: shed the oldest frame (it is the stalest heartbeat
+    // - the protocol tolerates loss, not unbounded queueing delay).
+    send_queue_.pop_front();
+    ++counters_.queue_drops;
+  }
+  PendingFrame f;
+  f.from = from;
+  f.to = to;
+  f.frame.resize(kHeaderBytes + size);
+  put_header(f.frame.data(), from, to);
+  if (size != 0) std::memcpy(f.frame.data() + kHeaderBytes, data, size);
+  send_queue_.push_back(std::move(f));
+  ++counters_.sent;
+  flush_sends(now_ms);
+}
+
+void UdpTransport::flush_sends(double now_ms) {
+  if (send_queue_.empty()) return;
+  if (backoff_until_ms_ >= 0.0 && now_ms < backoff_until_ms_) return;
+  while (!send_queue_.empty()) {
+    // Group a sendmmsg batch by source socket: frames from one sender
+    // go out in one syscall. The queue is FIFO per sender, preserving
+    // the kernel-visible send order.
+    const NodeId from = send_queue_.front().from;
+    const int fd = fds_[static_cast<std::size_t>(from)];
+    const std::size_t batch =
+        std::min<std::size_t>(send_queue_.size(),
+                              static_cast<std::size_t>(params_.batch));
+    std::vector<mmsghdr> msgs;
+    std::vector<iovec> iovs;
+    std::vector<sockaddr_in> addrs;
+    msgs.reserve(batch);
+    iovs.reserve(batch);
+    addrs.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      PendingFrame& f = send_queue_[i];
+      if (f.from != from) break;
+      addrs.push_back(loopback_addr(
+          static_cast<std::uint16_t>(params_.base_port + f.to)));
+      iovec iov{};
+      iov.iov_base = f.frame.data();
+      iov.iov_len = f.frame.size();
+      iovs.push_back(iov);
+      mmsghdr m{};
+      m.msg_hdr.msg_name = &addrs.back();
+      m.msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      m.msg_hdr.msg_iov = &iovs.back();
+      m.msg_hdr.msg_iovlen = 1;
+      msgs.push_back(m);
+    }
+    const int n = static_cast<int>(
+        sendmmsg(fd, msgs.data(), static_cast<unsigned>(msgs.size()), 0));
+    if (n < 0) {
+      const int err = errno;
+      if (err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS) {
+        // Kernel buffer pressure: arm/extend the exponential backoff
+        // and retry at a later poll - never busy-loop on a full buffer.
+        ++counters_.retries;
+        backoff_cur_ms_ = backoff_cur_ms_ <= 0.0
+                              ? params_.backoff_ms
+                              : std::min(backoff_cur_ms_ * 2.0,
+                                         params_.backoff_max_ms);
+        backoff_until_ms_ = now_ms + backoff_cur_ms_;
+        note_sock_error(from, "sendmmsg", err, now_ms);
+        return;
+      }
+      // Hard error (e.g. EPERM from a firewall): drop this sender's
+      // head frame so the queue keeps moving, and record why.
+      note_sock_error(from, "sendmmsg", err, now_ms);
+      send_queue_.pop_front();
+      ++counters_.queue_drops;
+      continue;
+    }
+    send_queue_.erase(send_queue_.begin(), send_queue_.begin() + n);
+    backoff_until_ms_ = -1.0;
+    backoff_cur_ms_ = 0.0;
+    if (static_cast<std::size_t>(n) < msgs.size()) {
+      // Partial batch: the kernel accepted a prefix; try again next
+      // poll rather than spinning.
+      return;
+    }
+  }
+}
+
+void UdpTransport::drain_socket(int index, double now_ms,
+                                std::vector<Delivery>& out) {
+  const int fd = fds_[static_cast<std::size_t>(index)];
+  const std::size_t batch = recv_bufs_.size();
+  std::vector<mmsghdr> msgs(batch);
+  std::vector<iovec> iovs(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    iovs[i].iov_base = recv_bufs_[i].data();
+    iovs[i].iov_len = recv_bufs_[i].size();
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  for (;;) {
+    const int n = static_cast<int>(
+        recvmmsg(fd, msgs.data(), static_cast<unsigned>(batch), 0, nullptr));
+    if (n < 0) {
+      const int err = errno;
+      if (err != EAGAIN && err != EWOULDBLOCK) {
+        note_sock_error(static_cast<NodeId>(index), "recvmmsg", err, now_ms);
+      }
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::size_t len = msgs[static_cast<std::size_t>(i)].msg_len;
+      const std::uint8_t* frame = recv_bufs_[static_cast<std::size_t>(i)]
+                                      .data();
+      NodeId from = -1;
+      NodeId to = -1;
+      if (!read_header(frame, len, from, to) || from < 0 ||
+          from >= max_nodes_ || to != static_cast<NodeId>(index)) {
+        // Stray or corrupt datagram on our port range; count and drop.
+        note_sock_error(static_cast<NodeId>(index), "frame", EBADMSG,
+                        now_ms);
+        continue;
+      }
+      Delivery d;
+      d.at_ms = now_ms;
+      d.from = from;
+      d.to = to;
+      d.payload.assign(frame + kHeaderBytes, frame + len);
+      out.push_back(std::move(d));
+      ++counters_.delivered;
+    }
+    if (static_cast<std::size_t>(n) < batch) return;  // drained
+  }
+}
+
+void UdpTransport::poll(double now_ms, std::vector<Delivery>& out) {
+  flush_sends(now_ms);
+  epoll_event events[64];
+  for (;;) {
+    const int n = epoll_wait(epoll_fd_, events, 64, 0);
+    if (n < 0) {
+      if (errno != EINTR) {
+        note_sock_error(-1, "epoll_wait", errno, now_ms);
+      }
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      drain_socket(static_cast<int>(events[i].data.u32), now_ms, out);
+    }
+    if (n < 64) return;
+  }
+}
+
+bool UdpTransport::wait_readable(double timeout_ms) {
+  epoll_event ev;
+  const int timeout =
+      timeout_ms <= 0.0 ? 0 : static_cast<int>(timeout_ms + 0.999);
+  const int n = epoll_wait(epoll_fd_, &ev, 1, timeout);
+  return n > 0;
+}
+
+TransportCounters UdpTransport::counters() const { return counters_; }
+
+}  // namespace rfd::transport

@@ -1,0 +1,105 @@
+// UdpTransport: real non-blocking UDP sockets behind the Transport
+// interface (Linux-only; epoll + recvmmsg/sendmmsg).
+//
+// Loopback deployment model: one process hosts all `max_nodes` node
+// identities, each bound to 127.0.0.1:(base_port + id). Datagrams are
+// framed with a 12-byte header (magic, from, to) so a receiver never
+// trusts source ports, and ride a real kernel socket path - real
+// syscalls, real buffer pressure, real drops - which is what the soak
+// runs exercise that the simulator cannot.
+//
+// Mechanics:
+//   - every socket is O_NONBLOCK and registered with one epoll instance;
+//     poll() does a zero-timeout epoll_wait and drains ready sockets
+//     with recvmmsg in batches;
+//   - send() never blocks: frames enter a bounded queue; flushes go out
+//     with sendmmsg grouped by source socket. EAGAIN/ENOBUFS arms an
+//     exponential backoff (retry at a later poll, counted in
+//     counters().retries); a full queue drops the oldest frame and
+//     counts it in queue_drops - bounded memory beats unbounded latency;
+//   - every socket-level error emits a reason-tagged "sock_err" trace
+//     record (rate-limited by folding repeats) and bumps sock_errors.
+//
+// The epoll file descriptor doubles as the wall-clock timer driver: a
+// driver that wants to sleep until the next heartbeat tick calls
+// wait_readable(timeout), which parks in epoll_wait - waking early when
+// datagrams arrive - instead of busy-spinning the poll loop.
+#pragma once
+
+#include <deque>
+
+#include "obs/record.hpp"
+#include "transport/transport.hpp"
+
+namespace rfd::transport {
+
+struct UdpParams {
+  std::uint16_t base_port = 39000;
+  /// Bounded send-queue capacity (frames); overflow drops the oldest.
+  int send_queue_cap = 4096;
+  /// recvmmsg/sendmmsg batch size.
+  int batch = 64;
+  /// Exponential backoff after EAGAIN/ENOBUFS: first retry after
+  /// `backoff_ms`, doubling up to `backoff_max_ms`.
+  double backoff_ms = 0.5;
+  double backoff_max_ms = 32.0;
+  /// SO_RCVBUF/SO_SNDBUF request per socket (0 = kernel default).
+  int socket_buffer_bytes = 1 << 20;
+};
+
+class UdpTransport final : public Transport {
+ public:
+  /// Binds all sockets eagerly; aborts (RFD_REQUIRE) when a bind or the
+  /// epoll setup fails - a soak run with half its sockets is not a run.
+  UdpTransport(int max_nodes, UdpParams params);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  const char* name() const override { return "udp"; }
+  void send(NodeId from, NodeId to, const std::uint8_t* data,
+            std::size_t size, double now_ms) override;
+  void poll(double now_ms, std::vector<Delivery>& out) override;
+  TransportCounters counters() const override;
+
+  /// Parks in epoll_wait for up to `timeout_ms` (clamped to >= 0) or
+  /// until any socket becomes readable; returns true when it woke for
+  /// readability. The wall-clock pacing loop uses this as its timer.
+  bool wait_readable(double timeout_ms);
+
+  /// Attaches the trace sink for "sock_err" records.
+  void set_trace(obs::RecordSink* trace) { trace_ = trace; }
+
+ private:
+  struct PendingFrame {
+    NodeId from;
+    NodeId to;
+    std::vector<std::uint8_t> frame;  // header + payload, wire-ready
+  };
+
+  void flush_sends(double now_ms);
+  void drain_socket(int index, double now_ms, std::vector<Delivery>& out);
+  void note_sock_error(NodeId node, const char* op, int err, double now_ms);
+
+  UdpParams params_;
+  int max_nodes_;
+  int epoll_fd_ = -1;
+  std::vector<int> fds_;  // fds_[i] = node i's socket
+  std::deque<PendingFrame> send_queue_;
+  double backoff_until_ms_ = -1.0;
+  double backoff_cur_ms_ = 0.0;
+  obs::RecordSink* trace_ = nullptr;
+  TransportCounters counters_;
+  // Folding rate limit for sock_err records: repeats of the same
+  // (op, errno) accumulate and flush as one record with a count.
+  const char* last_err_op_ = nullptr;
+  int last_err_errno_ = 0;
+  NodeId last_err_node_ = -1;
+  std::int64_t folded_errors_ = 0;
+
+  // recvmmsg scratch (sized once): batch headers, iovecs, buffers.
+  std::vector<std::vector<std::uint8_t>> recv_bufs_;
+};
+
+}  // namespace rfd::transport

@@ -113,6 +113,64 @@ TEST(ScenarioDsl, CompoundsExpandToPrimitives) {
   EXPECT_DOUBLE_EQ(churn.scenario.events[2].at_ms, 1'000.0);
 }
 
+TEST(ScenarioDsl, LiePrimitiveParsesAndRoundTrips) {
+  const ScenarioDoc doc = parse_ok(
+      "lie at=2000 node=3,5 delta=-2\n"
+      "lie_end at=6000 node=3,5\n");
+  ASSERT_EQ(doc.scenario.events.size(), 4u);
+  EXPECT_EQ(doc.scenario.events[0].kind, FaultKind::kLieStart);
+  EXPECT_EQ(doc.scenario.events[0].node, 3);
+  EXPECT_DOUBLE_EQ(doc.scenario.events[0].factor, -2.0);
+  EXPECT_EQ(doc.scenario.events[3].kind, FaultKind::kLieEnd);
+  EXPECT_EQ(doc.scenario.events[3].node, 5);
+  EXPECT_TRUE(doc.scenario.validate().empty());
+  const std::string text = serialize_scenario(doc);
+  const ScenarioDoc again = parse_ok(text);
+  EXPECT_EQ(doc.scenario.events, again.scenario.events);
+  EXPECT_EQ(serialize_scenario(again), text) << "not a fixed point";
+}
+
+TEST(ScenarioDsl, LieDisciplineRequiresAnOpenLie) {
+  const DslError err = parse_fail(
+      "lie at=2000 node=3 delta=4\n"
+      "lie_end at=6000 node=5\n");
+  EXPECT_EQ(err.line, 2);
+  EXPECT_NE(err.message.find("not lying"), std::string::npos)
+      << err.to_string();
+  EXPECT_TRUE(parse_fail("lie at=2000 node=3 delta=nope\n").line == 1);
+}
+
+TEST(ScenarioDsl, BudgetHeaderParsesAndRoundTrips) {
+  const ScenarioDoc doc = parse_ok(
+      "budget max_false_per_node_min=0.5 max_detect_p99=2500\n"
+      "crash at=3000 node=7\n");
+  EXPECT_TRUE(doc.has_budget());
+  EXPECT_DOUBLE_EQ(doc.budget_max_false_per_node_min, 0.5);
+  EXPECT_DOUBLE_EQ(doc.budget_max_detect_p99_ms, 2'500.0);
+  const ScenarioDoc again = parse_ok(serialize_scenario(doc));
+  EXPECT_DOUBLE_EQ(again.budget_max_false_per_node_min, 0.5);
+  EXPECT_DOUBLE_EQ(again.budget_max_detect_p99_ms, 2'500.0);
+
+  const ScenarioDoc partial = parse_ok("budget max_detect_p99=1000\n");
+  EXPECT_TRUE(partial.has_budget());
+  EXPECT_LT(partial.budget_max_false_per_node_min, 0.0);
+
+  const ScenarioDoc none = parse_ok("crash at=1000 node=0\n");
+  EXPECT_FALSE(none.has_budget());
+}
+
+TEST(ScenarioDsl, BudgetHeaderRejectsMisuse) {
+  // Empty budget, budget after a fault, and negative bounds all fail
+  // with the line of the offending statement.
+  EXPECT_EQ(parse_fail("budget\n").line, 1);
+  EXPECT_EQ(parse_fail("crash at=1000 node=0\nbudget max_detect_p99=1\n")
+                .line,
+            2);
+  EXPECT_EQ(parse_fail("budget max_false_per_node_min=-1\n").line, 1);
+  EXPECT_EQ(parse_fail("budget max_detect_p99=0\n").line, 1);
+  EXPECT_EQ(parse_fail("budget nope=1\n").line, 1);
+}
+
 TEST(ScenarioDsl, RoundTripIsAFixedPoint) {
   const std::string source =
       "name \"round trip\"\n"
@@ -138,10 +196,10 @@ TEST(ScenarioDsl, RoundTripIsAFixedPoint) {
 
 TEST(ScenarioDsl, EveryLibraryScenarioRoundTrips) {
   for (const char* file :
-       {"asymmetric_partition.scn", "cascading_overload.scn",
-        "churn_storm.scn", "crash_recovery_wave.scn", "flapping_links.scn",
-        "gray_failure.scn", "partition_cascade.scn", "rack_failure.scn",
-        "slow_nodes.scn"}) {
+       {"asymmetric_partition.scn", "byzantine_counters.scn",
+        "cascading_overload.scn", "churn_storm.scn",
+        "crash_recovery_wave.scn", "flapping_links.scn", "gray_failure.scn",
+        "partition_cascade.scn", "rack_failure.scn", "slow_nodes.scn"}) {
     const ScenarioDoc doc = testutil::load_doc(file);
     EXPECT_FALSE(doc.scenario.events.empty()) << file;
     EXPECT_TRUE(doc.scenario.validate().empty()) << file;
